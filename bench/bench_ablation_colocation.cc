@@ -1,0 +1,58 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Ablation of footnote 2: dividing a site's file-ID space over co-located
+// servers with hash-mod bucketization, versus per-request random splitting.
+// The paper calls hash-mod "a feasible (and recommended) practice for
+// dividing the file ID space over co-located servers to balance load and
+// minimize co-located duplicates"; this bench quantifies both halves of that
+// claim (load balance and the aggregate efficiency cost of splitting).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/sim/colocation.h"
+#include "src/util/str_util.h"
+
+int main() {
+  using namespace vcdn;
+  bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::PrintHeader(
+      "Ablation: co-located servers, hash-mod vs random request splitting (footnote 2)",
+      "hash-mod balances load and avoids co-located duplicates; random splitting "
+      "dilutes per-server popularity",
+      scale);
+
+  trace::Trace site = bench::MakeEuropeTrace(scale);
+  // A site of N co-located servers sharing the paper's 1 TB (split evenly).
+  core::CacheConfig total = bench::PaperConfig(1.0, 2.0, scale);
+
+  util::TextTable table({"servers", "policy", "combined eff", "ingress %", "redirect %",
+                         "load imbalance"});
+  for (size_t servers : {1u, 2u, 4u, 8u}) {
+    for (auto policy : {sim::ColocationPolicy::kHashMod, sim::ColocationPolicy::kRandom}) {
+      if (servers == 1 && policy == sim::ColocationPolicy::kRandom) {
+        continue;  // identical to hash-mod with one server
+      }
+      sim::ColocationConfig config;
+      config.num_servers = servers;
+      config.policy = policy;
+      config.kind = core::CacheKind::kCafe;
+      config.per_server_config = total;
+      config.per_server_config.disk_capacity_chunks =
+          std::max<uint64_t>(1, total.disk_capacity_chunks / servers);
+      sim::ColocationResult result = sim::RunColocated(site, config);
+      table.AddRow({std::to_string(servers),
+                    policy == sim::ColocationPolicy::kHashMod ? "hash-mod" : "random",
+                    util::FormatPercent(result.combined_efficiency),
+                    util::FormatPercent(result.combined_ingress_fraction),
+                    util::FormatPercent(result.combined_redirect_fraction),
+                    util::FormatDouble(result.load_imbalance, 2)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Reading: hash-mod sharding preserves nearly all of the monolithic cache's\n"
+      "efficiency while keeping byte-load imbalance low; random splitting shows each\n"
+      "server a diluted popularity signal and degrades the aggregate.\n");
+  return 0;
+}

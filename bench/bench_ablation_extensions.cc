@@ -1,0 +1,94 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Ablation of the Sec. 10 future-work features implemented in this library:
+//
+//   [1] dynamic alpha_F2R control loop: the controller holds a server's
+//       ingress near an operator budget across the diurnal cycle, versus
+//       fixed-alpha operating points;
+//   [2] proactive caching for spare ingress: off-peak prefetching of popular
+//       uncached chunks, versus vanilla Cafe;
+//   [3] the FillLFU classic baseline, versus FillLRU/xLRU/Cafe, quantifying
+//       that frequency-based *replacement* alone does not solve the
+//       fill-vs-redirect problem either.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/core/adaptive_alpha.h"
+#include "src/core/cafe_cache.h"
+#include "src/util/str_util.h"
+
+int main() {
+  using namespace vcdn;
+  bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::PrintHeader(
+      "Ablation: Sec. 10 extensions (adaptive alpha, proactive caching, LFU baseline)",
+      "future work in the paper; implemented here on top of Cafe Cache",
+      scale);
+
+  trace::Trace trace = bench::MakeEuropeTrace(scale);
+
+  std::printf("\n[1] Dynamic alpha_F2R control loop (ingress budget tracking):\n");
+  util::TextTable adaptive_table(
+      {"configuration", "efficiency", "ingress %", "redirect %", "final alpha"});
+  for (double alpha : {1.0, 2.0, 4.0}) {
+    core::CacheConfig config = bench::PaperConfig(1.0, alpha, scale);
+    sim::ReplayResult fixed = bench::RunCache(core::CacheKind::kCafe, trace, config);
+    adaptive_table.AddRow({"fixed alpha=" + util::FormatDouble(alpha, 1),
+                           util::FormatPercent(fixed.efficiency),
+                           util::FormatPercent(fixed.ingress_fraction),
+                           util::FormatPercent(fixed.redirect_fraction), "-"});
+  }
+  for (double budget : {0.02, 0.05, 0.10}) {
+    core::CacheConfig config = bench::PaperConfig(1.0, 2.0, scale);
+    core::AdaptiveAlphaOptions options;
+    options.target_ingress_fraction = budget;
+    options.min_alpha = 0.5;
+    options.max_alpha = 8.0;
+    auto inner = std::make_unique<core::CafeCache>(config);
+    core::AdaptiveAlphaCache cache(std::move(inner), options);
+    sim::ReplayResult result = sim::Replay(cache, trace);
+    adaptive_table.AddRow({"budget ingress<=" + util::FormatPercent(budget, 0),
+                           util::FormatPercent(result.efficiency),
+                           util::FormatPercent(result.ingress_fraction),
+                           util::FormatPercent(result.redirect_fraction),
+                           util::FormatDouble(cache.current_alpha(), 2)});
+  }
+  std::printf("%s\n", adaptive_table.ToString().c_str());
+
+  std::printf("[2] Proactive caching for spare ingress (off-peak prefetch):\n");
+  util::TextTable proactive_table(
+      {"configuration", "efficiency", "ingress %", "redirect %", "proactive chunks"});
+  for (bool proactive : {false, true}) {
+    core::CacheConfig config = bench::PaperConfig(1.0, 2.0, scale);
+    core::CafeOptions options;
+    options.proactive = proactive;
+    core::CafeCache cache(config, options);
+    sim::ReplayResult result = sim::Replay(cache, trace);
+    proactive_table.AddRow({proactive ? "Cafe + proactive" : "Cafe (vanilla)",
+                            util::FormatPercent(result.efficiency),
+                            util::FormatPercent(result.ingress_fraction),
+                            util::FormatPercent(result.redirect_fraction),
+                            std::to_string(result.steady.proactive_filled_chunks)});
+  }
+  std::printf("%s\n", proactive_table.ToString().c_str());
+  std::printf(
+      "    Note: prefetches use spare off-peak uplink (modelled at %.0f%% of C_F), but\n"
+      "    Eq. (2) charges them the full C_F -- the efficiency column therefore\n"
+      "    understates the real benefit; the win is daytime ingress shifted to night.\n\n",
+      core::CafeOptions{}.proactive_cost_discount * 100.0);
+
+  std::printf("[3] Classic replacement baselines vs admission-aware caches (alpha=2):\n");
+  util::TextTable baseline_table({"cache", "efficiency", "ingress %", "redirect %"});
+  core::CacheConfig config = bench::PaperConfig(1.0, 2.0, scale);
+  for (auto kind : {core::CacheKind::kFillLru, core::CacheKind::kFillLfu, core::CacheKind::kXlru,
+                    core::CacheKind::kCafe, core::CacheKind::kBelady}) {
+    sim::ReplayResult r = bench::RunCache(kind, trace, config);
+    baseline_table.AddRow({r.cache_name, util::FormatPercent(r.efficiency),
+                           util::FormatPercent(r.ingress_fraction),
+                           util::FormatPercent(r.redirect_fraction)});
+  }
+  std::printf("%s\n", baseline_table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/str_util.h"
+
+namespace vcdn::bench {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    return fallback;
+  }
+  double parsed = 0.0;
+  if (!util::ParseDouble(value, &parsed) || parsed <= 0.0) {
+    std::fprintf(stderr, "warning: ignoring invalid %s=%s\n", name, value);
+    return fallback;
+  }
+  return parsed;
+}
+
+}  // namespace
+
+BenchScale ScaleFromEnv() {
+  BenchScale scale;
+  scale.workload_scale = EnvDouble("VCDN_BENCH_SCALE", scale.workload_scale);
+  scale.days = EnvDouble("VCDN_BENCH_DAYS", scale.days);
+  scale.chunks_per_paper_tb = EnvDouble("VCDN_BENCH_DISK_SCALE", scale.chunks_per_paper_tb);
+  scale.seed = static_cast<uint64_t>(EnvDouble("VCDN_BENCH_SEED", 1.0));
+  return scale;
+}
+
+trace::Trace MakeServerTrace(trace::ServerProfile profile, const BenchScale& scale) {
+  trace::WorkloadConfig config;
+  config.profile = std::move(profile);
+  config.seed = scale.seed;
+  config.duration_seconds = scale.duration_seconds();
+  return trace::WorkloadGenerator(config).Generate().trace;
+}
+
+trace::Trace MakeEuropeTrace(const BenchScale& scale) {
+  return MakeServerTrace(trace::EuropeProfile(scale.workload_scale), scale);
+}
+
+core::CacheConfig PaperConfig(double paper_terabytes, double alpha, const BenchScale& scale) {
+  core::CacheConfig config;
+  config.chunk_bytes = core::kDefaultChunkBytes;
+  config.disk_capacity_chunks = scale.DiskChunks(paper_terabytes);
+  config.alpha_f2r = alpha;
+  return config;
+}
+
+sim::ReplayResult RunCache(core::CacheKind kind, const trace::Trace& trace,
+                           const core::CacheConfig& config) {
+  auto cache = core::MakeCache(kind, config);
+  return sim::Replay(*cache, trace);
+}
+
+void PrintHeader(const std::string& experiment, const std::string& paper_claim,
+                 const BenchScale& scale) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper: %s\n", paper_claim.c_str());
+  std::printf(
+      "Scale: workload x%.3g, %.0f days, %.0f chunks per paper-TB, seed %llu\n"
+      "       (set VCDN_BENCH_SCALE / VCDN_BENCH_DAYS / VCDN_BENCH_DISK_SCALE /\n"
+      "        VCDN_BENCH_SEED to change)\n",
+      scale.workload_scale, scale.days, scale.chunks_per_paper_tb,
+      static_cast<unsigned long long>(scale.seed));
+  std::printf("==============================================================================\n");
+}
+
+}  // namespace vcdn::bench

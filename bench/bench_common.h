@@ -1,0 +1,71 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Shared infrastructure for the experiment binaries (one per paper figure).
+//
+// Scaling: the paper replays one month of production traffic against 1 TB
+// disks. The reproduction runs the same experiment shapes on a scaled-down
+// synthetic workload; the scale is configurable via environment variables so
+// a full-size run is one knob away:
+//
+//   VCDN_BENCH_SCALE       workload scale factor (catalog size, request rate,
+//                          churn scale together). Default 0.25.
+//   VCDN_BENCH_DAYS        trace length in days. Default 30 (the paper's month).
+//   VCDN_BENCH_DISK_SCALE  chunks per "paper terabyte". Default 4096 (8 GiB),
+//                          calibrated so the default-scale Europe workload
+//                          reproduces the paper's absolute efficiency levels
+//                          (xLRU ~59/62%, Cafe ~61/73% at alpha = 1/2).
+//   VCDN_BENCH_SEED        workload seed. Default 1.
+//
+// Every bench prints the measured table next to the paper's reported claim so
+// EXPERIMENTS.md can record paper-vs-measured side by side.
+
+#ifndef VCDN_BENCH_BENCH_COMMON_H_
+#define VCDN_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/cache_algorithm.h"
+#include "src/core/cache_factory.h"
+#include "src/sim/replay.h"
+#include "src/trace/server_profile.h"
+#include "src/trace/workload_generator.h"
+
+namespace vcdn::bench {
+
+struct BenchScale {
+  double workload_scale = 0.25;
+  double days = 30.0;
+  double chunks_per_paper_tb = 4096.0;
+  uint64_t seed = 1;
+
+  double duration_seconds() const { return days * 86400.0; }
+  uint64_t DiskChunks(double paper_terabytes) const {
+    return static_cast<uint64_t>(paper_terabytes * chunks_per_paper_tb);
+  }
+};
+
+// Reads the scale from the environment (defaults above).
+BenchScale ScaleFromEnv();
+
+// Generates the one-month trace of a server profile at the given scale.
+trace::Trace MakeServerTrace(trace::ServerProfile profile, const BenchScale& scale);
+
+// The Europe trace used by Figs. 3-6.
+trace::Trace MakeEuropeTrace(const BenchScale& scale);
+
+// Cache config in "paper units": disk quoted in paper-TB.
+core::CacheConfig PaperConfig(double paper_terabytes, double alpha, const BenchScale& scale);
+
+// Replays `kind` on `trace` and returns the steady-state result.
+sim::ReplayResult RunCache(core::CacheKind kind, const trace::Trace& trace,
+                           const core::CacheConfig& config);
+
+// Prints the experiment banner: figure id, what the paper reported, and the
+// scale in effect.
+void PrintHeader(const std::string& experiment, const std::string& paper_claim,
+                 const BenchScale& scale);
+
+}  // namespace vcdn::bench
+
+#endif  // VCDN_BENCH_BENCH_COMMON_H_

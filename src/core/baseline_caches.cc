@@ -1,0 +1,163 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/core/baseline_caches.h"
+
+#include <cmath>
+#include <limits>
+
+namespace vcdn::core {
+
+namespace {
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+}  // namespace
+
+RequestOutcome AlwaysFillLruCache::HandleRequest(const trace::Request& request) {
+  const double now = request.arrival_time;
+  RequestOutcome outcome = MakeOutcome(request);
+  ChunkRange range = ToChunkRange(request, config_.chunk_bytes);
+  if (range.count() > config_.disk_capacity_chunks) {
+    outcome.decision = Decision::kRedirect;
+    return outcome;
+  }
+
+  std::vector<uint32_t> missing;
+  for (uint32_t c = range.first; c <= range.last; ++c) {
+    ChunkId chunk{request.video, c};
+    if (disk_.Contains(chunk)) {
+      ++outcome.hit_chunks;
+      disk_.InsertOrTouch(chunk, now);
+    } else {
+      missing.push_back(c);
+    }
+  }
+  uint64_t needed = disk_.size() + missing.size();
+  uint64_t to_evict =
+      needed > config_.disk_capacity_chunks ? needed - config_.disk_capacity_chunks : 0;
+  for (uint64_t i = 0; i < to_evict; ++i) {
+    disk_.PopOldest();
+    ++outcome.evicted_chunks;
+  }
+  for (uint32_t c : missing) {
+    disk_.InsertOrTouch(ChunkId{request.video, c}, now);
+    ++outcome.filled_chunks;
+  }
+  outcome.decision = Decision::kServe;
+  return outcome;
+}
+
+double FillLfuCache::BumpKey(double old_key, double now) const {
+  // Count in the "reference frame" of time `now`: 2^(key - now/halflife).
+  double phase = now / aging_halflife_;
+  double aged_count = std::exp2(old_key - phase);
+  return std::log2(aged_count + 1.0) + phase;
+}
+
+RequestOutcome FillLfuCache::HandleRequest(const trace::Request& request) {
+  const double now = request.arrival_time;
+  RequestOutcome outcome = MakeOutcome(request);
+  ChunkRange range = ToChunkRange(request, config_.chunk_bytes);
+  if (range.count() > config_.disk_capacity_chunks) {
+    outcome.decision = Decision::kRedirect;
+    return outcome;
+  }
+
+  std::vector<ChunkId> missing;
+  for (uint32_t c = range.first; c <= range.last; ++c) {
+    ChunkId chunk{request.video, c};
+    const double* key = cached_.GetScore(chunk);
+    if (key != nullptr) {
+      ++outcome.hit_chunks;
+      cached_.InsertOrUpdate(chunk, BumpKey(*key, now));
+    } else {
+      missing.push_back(chunk);
+    }
+  }
+  uint64_t needed = cached_.size() + missing.size();
+  uint64_t to_evict =
+      needed > config_.disk_capacity_chunks ? needed - config_.disk_capacity_chunks : 0;
+  for (uint64_t i = 0; i < to_evict; ++i) {
+    // The chunks of this request were just bumped (count >= 1 at now), so a
+    // fresh fill (count exactly 1) ties at worst and id-order tie-breaking
+    // cannot evict a chunk inserted in this same loop... except pathological
+    // id ties; skip current-request chunks defensively.
+    auto it = cached_.begin();
+    while (it != cached_.end() && it->second.video == request.video &&
+           it->second.index >= range.first && it->second.index <= range.last) {
+      ++it;
+    }
+    VCDN_CHECK(it != cached_.end());
+    ChunkId victim = it->second;
+    cached_.Erase(victim);
+    ++outcome.evicted_chunks;
+  }
+  double fresh_key = std::log2(1.0) + now / aging_halflife_;  // count = 1
+  for (const ChunkId& chunk : missing) {
+    cached_.InsertOrUpdate(chunk, fresh_key);
+    ++outcome.filled_chunks;
+  }
+  outcome.decision = Decision::kServe;
+  return outcome;
+}
+
+void BeladyCache::Prepare(const trace::Trace& trace) {
+  futures_.clear();
+  for (const trace::Request& r : trace.requests) {
+    ChunkRange range = ToChunkRange(r, config_.chunk_bytes);
+    for (uint32_t c = range.first; c <= range.last; ++c) {
+      futures_[ChunkId{r.video, c}].times.push_back(r.arrival_time);
+    }
+  }
+  prepared_ = true;
+}
+
+RequestOutcome BeladyCache::HandleRequest(const trace::Request& request) {
+  VCDN_CHECK_MSG(prepared_, "BeladyCache::Prepare() must run before replay");
+  const double now = request.arrival_time;
+  RequestOutcome outcome = MakeOutcome(request);
+  ChunkRange range = ToChunkRange(request, config_.chunk_bytes);
+  if (range.count() > config_.disk_capacity_chunks) {
+    outcome.decision = Decision::kRedirect;
+    return outcome;
+  }
+
+  std::vector<ChunkId> missing;
+  for (uint32_t c = range.first; c <= range.last; ++c) {
+    ChunkId chunk{request.video, c};
+    auto it = futures_.find(chunk);
+    VCDN_CHECK(it != futures_.end());
+    FutureList& future = it->second;
+    while (future.next < future.times.size() && future.times[future.next] <= now) {
+      ++future.next;
+    }
+    double next_time =
+        future.next < future.times.size() ? future.times[future.next] : kInfinity;
+    if (cached_.Contains(chunk)) {
+      ++outcome.hit_chunks;
+      cached_.InsertOrUpdate(chunk, next_time);
+    } else {
+      missing.push_back(chunk);
+      (void)next_time;
+    }
+  }
+
+  uint64_t needed = cached_.size() + missing.size();
+  uint64_t to_evict =
+      needed > config_.disk_capacity_chunks ? needed - config_.disk_capacity_chunks : 0;
+  for (uint64_t i = 0; i < to_evict; ++i) {
+    // The farthest-future chunk cannot be one of this request's chunks: hits
+    // were just re-keyed to imminent times and misses are not cached yet.
+    cached_.PopMax();
+    ++outcome.evicted_chunks;
+  }
+  for (const ChunkId& chunk : missing) {
+    const FutureList& future = futures_.find(chunk)->second;
+    double next_time =
+        future.next < future.times.size() ? future.times[future.next] : kInfinity;
+    cached_.InsertOrUpdate(chunk, next_time);
+    ++outcome.filled_chunks;
+  }
+  outcome.decision = Decision::kServe;
+  return outcome;
+}
+
+}  // namespace vcdn::core

@@ -1,0 +1,99 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// The common interface of all cache algorithms (Problem 1 / Problem 2 in
+// Sec. 4.3): for each request, either SERVE (cache-filling any missing
+// chunks, evicting as needed) or REDIRECT the whole request. A request is
+// always fully served or fully redirected, never split.
+
+#ifndef VCDN_SRC_CORE_CACHE_ALGORITHM_H_
+#define VCDN_SRC_CORE_CACHE_ALGORITHM_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/core/chunk.h"
+#include "src/core/cost_model.h"
+#include "src/trace/request.h"
+
+namespace vcdn::core {
+
+enum class Decision {
+  kServe,     // serve from cache, filling any missing chunks first
+  kRedirect,  // HTTP 302 to an alternative server
+};
+
+struct CacheConfig {
+  uint64_t chunk_bytes = kDefaultChunkBytes;
+  uint64_t disk_capacity_chunks = 0;  // must be > 0
+  double alpha_f2r = 1.0;             // ingress-to-redirect preference (Sec. 4.1)
+};
+
+// Accounting for one handled request, in the units the cost model needs:
+// fills are chunk-granular (a chunk is ingressed in full), redirects and the
+// denominator of Eq. (2) are byte-granular.
+struct RequestOutcome {
+  Decision decision = Decision::kRedirect;
+  uint64_t requested_bytes = 0;
+  uint32_t requested_chunks = 0;
+  uint32_t filled_chunks = 0;   // 0 when redirected
+  uint32_t evicted_chunks = 0;  // evictions triggered by this fill
+  uint32_t hit_chunks = 0;      // requested chunks already on disk
+  // Background fills piggy-backed on this request by a proactive cache
+  // (Sec. 10 "proactive caching for spare ingress"); charged as ingress.
+  uint32_t proactive_filled_chunks = 0;
+};
+
+class CacheAlgorithm {
+ public:
+  explicit CacheAlgorithm(const CacheConfig& config) : config_(config), cost_(config.alpha_f2r) {
+    VCDN_CHECK(config.disk_capacity_chunks > 0);
+    VCDN_CHECK(config.chunk_bytes > 0);
+  }
+  virtual ~CacheAlgorithm() = default;
+
+  CacheAlgorithm(const CacheAlgorithm&) = delete;
+  CacheAlgorithm& operator=(const CacheAlgorithm&) = delete;
+
+  // Offline algorithms (Psychic, Optimal) receive the full request sequence
+  // before replay (Problem 2); online algorithms ignore this.
+  virtual void Prepare(const trace::Trace& trace) { (void)trace; }
+
+  // Handles one request; requests must arrive in non-decreasing time order.
+  virtual RequestOutcome HandleRequest(const trace::Request& request) = 0;
+
+  virtual std::string_view name() const = 0;
+
+  // Re-targets the fill-to-redirect preference at runtime (Sec. 10 discusses
+  // dynamic adjustment of alpha_F2R "in a small range through a control
+  // loop"). Takes effect from the next request.
+  virtual void SetAlphaF2r(double alpha_f2r) {
+    VCDN_CHECK(alpha_f2r > 0.0);
+    config_.alpha_f2r = alpha_f2r;
+    cost_ = CostModel(alpha_f2r);
+  }
+
+  // Number of chunks currently stored.
+  virtual uint64_t used_chunks() const = 0;
+
+  // True if the given chunk is currently on disk (for tests/inspection).
+  virtual bool ContainsChunk(const ChunkId& chunk) const = 0;
+
+  const CacheConfig& config() const { return config_; }
+  const CostModel& cost_model() const { return cost_; }
+
+ protected:
+  // Shared helper: outcome skeleton for a request.
+  RequestOutcome MakeOutcome(const trace::Request& request) const {
+    RequestOutcome outcome;
+    outcome.requested_bytes = request.size_bytes();
+    outcome.requested_chunks = ToChunkRange(request, config_.chunk_bytes).count();
+    return outcome;
+  }
+
+  CacheConfig config_;
+  CostModel cost_;
+};
+
+}  // namespace vcdn::core
+
+#endif  // VCDN_SRC_CORE_CACHE_ALGORITHM_H_

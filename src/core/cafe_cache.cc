@@ -1,0 +1,310 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/core/cafe_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vcdn::core {
+
+namespace {
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+// Floor on IAT values when dividing (an IAT of 0 would make a chunk
+// infinitely valuable; in practice it means "requested within this tick").
+constexpr double kMinIat = 1e-6;
+}  // namespace
+
+CafeCache::CafeCache(const CacheConfig& config, const CafeOptions& options)
+    : CacheAlgorithm(config), options_(options) {
+  VCDN_CHECK(options_.gamma > 0.0 && options_.gamma <= 1.0);
+  VCDN_CHECK(options_.history_retention_factor > 0.0);
+}
+
+double CafeCache::IatOf(const ChunkStat& stat, double now) const {
+  // Eq. (8).
+  return options_.gamma * (now - stat.t_last) + (1.0 - options_.gamma) * stat.dt;
+}
+
+double CafeCache::VirtualKey(const ChunkStat& stat) const {
+  // Theorem 1 with T0 = 0: key = T0 - IAT(T0) = gamma*t_last - (1-gamma)*dt.
+  return options_.gamma * stat.t_last - (1.0 - options_.gamma) * stat.dt;
+}
+
+void CafeCache::UpdateStat(ChunkStat& stat, double now) const {
+  stat.dt = options_.gamma * (now - stat.t_last) + (1.0 - options_.gamma) * stat.dt;
+  stat.t_last = now;
+}
+
+double CafeCache::CacheAge(double now) const {
+  if (cached_.empty()) {
+    return 0.0;
+  }
+  const ChunkId& least_popular = cached_.Min().second;
+  auto it = cached_stats_.find(least_popular);
+  VCDN_DCHECK(it != cached_stats_.end());
+  return std::max(0.0, IatOf(it->second, now));
+}
+
+double CafeCache::EstimateIat(const ChunkId& chunk, double now) const {
+  auto cached_it = cached_stats_.find(chunk);
+  if (cached_it != cached_stats_.end()) {
+    return std::max(kMinIat, IatOf(cached_it->second, now));
+  }
+  if (const ChunkStat* stat = history_.Peek(chunk)) {
+    return std::max(kMinIat, IatOf(*stat, now));
+  }
+  if (options_.estimate_unseen_from_video) {
+    // Sec. 6 optimization: a never-seen chunk of a partially cached video
+    // inherits the largest recorded IAT among the video's cached chunks.
+    auto vit = video_chunks_.find(chunk.video);
+    if (vit != video_chunks_.end() && !vit->second.empty()) {
+      double worst = 0.0;
+      for (uint32_t index : vit->second) {
+        auto sit = cached_stats_.find(ChunkId{chunk.video, index});
+        VCDN_DCHECK(sit != cached_stats_.end());
+        worst = std::max(worst, IatOf(sit->second, now));
+      }
+      return std::max(kMinIat, worst);
+    }
+  }
+  return kInfinity;
+}
+
+void CafeCache::CleanupHistory(double now) {
+  double age = CacheAge(now);
+  if (age <= 0.0) {
+    return;
+  }
+  double horizon = age * options_.history_retention_factor / std::min(1.0, config_.alpha_f2r);
+  while (!history_.empty() && now - history_.Oldest().value.t_last > horizon) {
+    history_by_key_.Erase(history_.Oldest().key);
+    history_.PopOldest();
+  }
+  while (!video_seen_.empty() && now - video_seen_.Oldest().value > horizon) {
+    video_seen_.PopOldest();
+  }
+}
+
+void CafeCache::HistoryPut(const ChunkId& chunk, const ChunkStat& stat) {
+  history_.InsertOrTouch(chunk, stat);
+  history_by_key_.InsertOrUpdate(chunk, VirtualKey(stat));
+}
+
+void CafeCache::HistoryErase(const ChunkId& chunk) {
+  history_.Erase(chunk);
+  history_by_key_.Erase(chunk);
+}
+
+void CafeCache::CacheInsert(const ChunkId& chunk, const ChunkStat& stat) {
+  cached_stats_.emplace(chunk, stat);
+  cached_.InsertOrUpdate(chunk, VirtualKey(stat));
+  video_chunks_[chunk.video].insert(chunk.index);
+}
+
+void CafeCache::CacheEvict(const ChunkId& chunk) {
+  auto sit = cached_stats_.find(chunk);
+  VCDN_DCHECK(sit != cached_stats_.end());
+  HistoryPut(chunk, sit->second);
+  cached_stats_.erase(sit);
+  cached_.Erase(chunk);
+  auto vit = video_chunks_.find(chunk.video);
+  vit->second.erase(chunk.index);
+  if (vit->second.empty()) {
+    video_chunks_.erase(vit);
+  }
+}
+
+uint32_t CafeCache::ProactiveFill(double now) {
+  // Off-peak only: the smoothed request rate must sit well below the peak.
+  if (rate_estimate_ <= 0.0 || peak_rate_ <= 0.0 ||
+      rate_estimate_ > options_.proactive_rate_threshold * peak_rate_) {
+    return 0;
+  }
+  const double window = CacheAge(now);
+  const double min_cost = cost_.min_cost();
+  uint32_t filled = 0;
+  while (filled < options_.proactive_fills_per_request && !history_by_key_.empty()) {
+    auto [key, chunk] = history_by_key_.Max();  // most popular uncached chunk
+    const ChunkStat* stat = history_.Peek(chunk);
+    VCDN_DCHECK(stat != nullptr);
+
+    // Prefetch only when it pays under Cafe's own cost model (Eqs. 6-7):
+    // the expected future redirects/fills avoided must exceed the fill cost
+    // plus, if the disk is full, the victim's own expected future value.
+    double gain = window / std::max(kMinIat, IatOf(*stat, now)) * min_cost;
+    bool disk_full = cached_.size() >= config_.disk_capacity_chunks;
+    if (disk_full) {
+      if (cached_.empty() || key <= cached_.Min().first) {
+        break;
+      }
+      auto vit = cached_stats_.find(cached_.Min().second);
+      VCDN_DCHECK(vit != cached_stats_.end());
+      gain -= window / std::max(kMinIat, IatOf(vit->second, now)) * min_cost;
+    }
+    if (gain <= cost_.fill_cost() * options_.proactive_cost_discount) {
+      // Candidates are popularity-ordered; nothing further down can pay.
+      break;
+    }
+
+    ChunkStat moved = *stat;
+    HistoryErase(chunk);
+    if (disk_full) {
+      ChunkId victim = cached_.Min().second;  // copy: eviction invalidates refs
+      CacheEvict(victim);
+    }
+    CacheInsert(chunk, moved);
+    ++filled;
+  }
+  return filled;
+}
+
+RequestOutcome CafeCache::HandleRequest(const trace::Request& request) {
+  const double now = request.arrival_time;
+  if (first_request_time_ < 0.0) {
+    first_request_time_ = now;
+  }
+  RequestOutcome outcome = MakeOutcome(request);
+  ChunkRange range = ToChunkRange(request, config_.chunk_bytes);
+
+  // Classify the requested chunks (S) into present and missing (S').
+  std::vector<ChunkId> all_chunks;
+  std::vector<ChunkId> missing;
+  all_chunks.reserve(range.count());
+  for (uint32_t c = range.first; c <= range.last; ++c) {
+    ChunkId chunk{request.video, c};
+    all_chunks.push_back(chunk);
+    if (!cached_.Contains(chunk)) {
+      missing.push_back(chunk);
+    }
+  }
+  outcome.hit_chunks = static_cast<uint32_t>(all_chunks.size() - missing.size());
+
+  // First-ever request for this video: no popularity signal at all; redirect
+  // (the same rule as xLRU's "t == NULL" -- Sec. 9.2 confirms Cafe
+  // intentionally never admits a never-seen file).
+  bool video_seen = video_seen_.Peek(request.video) != nullptr;
+  video_seen_.InsertOrTouch(request.video, now);
+
+  bool admit = false;
+  std::vector<std::pair<ChunkId, double>> victims;  // (chunk, IAT at now)
+  if (video_seen && range.count() <= config_.disk_capacity_chunks) {
+    // Select eviction victims S'': the least popular cached chunks, skipping
+    // requested ones. Only as many as the fill would overflow the disk.
+    uint64_t needed = cached_.size() + missing.size();
+    uint64_t evictions = needed > config_.disk_capacity_chunks
+                             ? needed - config_.disk_capacity_chunks
+                             : 0;
+    if (evictions > 0) {
+      for (const auto& [key, chunk] : cached_) {
+        if (victims.size() >= evictions) {
+          break;
+        }
+        if (chunk.video == request.video && chunk.index >= range.first &&
+            chunk.index <= range.last) {
+          continue;  // never evict a chunk this request needs
+        }
+        auto sit = cached_stats_.find(chunk);
+        VCDN_DCHECK(sit != cached_stats_.end());
+        victims.emplace_back(chunk, std::max(kMinIat, IatOf(sit->second, now)));
+      }
+      VCDN_CHECK(victims.size() == evictions);
+    }
+
+    // Lookahead window T: the cache age; while the disk is still filling the
+    // natural churn horizon is the cache's lifetime so far.
+    double window = CacheAge(now);
+    if (cached_.size() < config_.disk_capacity_chunks) {
+      window = std::max(window, now - first_request_time_);
+    }
+
+    // Eqs. (6) and (7).
+    double min_cost = cost_.min_cost();
+    double cost_serve = static_cast<double>(missing.size()) * cost_.fill_cost();
+    for (const auto& [chunk, iat] : victims) {
+      cost_serve += window / iat * min_cost;
+    }
+    double cost_redirect = static_cast<double>(all_chunks.size()) * cost_.redirect_cost();
+    for (const ChunkId& chunk : missing) {
+      double iat = EstimateIat(chunk, now);
+      if (std::isfinite(iat)) {
+        cost_redirect += window / iat * min_cost;
+      }
+    }
+    admit = cost_serve <= cost_redirect;
+  }
+
+  if (admit) {
+    // Evict S'' (stats move to history), fill S', touch all of S.
+    for (const auto& [chunk, iat] : victims) {
+      (void)iat;
+      CacheEvict(chunk);
+      ++outcome.evicted_chunks;
+    }
+    for (const ChunkId& chunk : all_chunks) {
+      auto sit = cached_stats_.find(chunk);
+      if (sit != cached_stats_.end()) {
+        // Hit: EWMA update and re-key.
+        UpdateStat(sit->second, now);
+        cached_.InsertOrUpdate(chunk, VirtualKey(sit->second));
+        continue;
+      }
+      // Fill: seed the stat from history, or initialize a fresh one.
+      ChunkStat stat;
+      if (const ChunkStat* h = history_.Peek(chunk)) {
+        stat = *h;
+        HistoryErase(chunk);
+        UpdateStat(stat, now);
+      } else {
+        double estimate = EstimateIat(chunk, now);
+        stat.dt = std::isfinite(estimate) ? estimate : std::max(CacheAge(now), kMinIat);
+        stat.t_last = now;
+      }
+      CacheInsert(chunk, stat);
+      ++outcome.filled_chunks;
+    }
+    outcome.decision = Decision::kServe;
+  } else {
+    // Redirect. The request still signals popularity: update every requested
+    // chunk's stat (cached chunks get re-keyed, uncached ones tracked in
+    // history).
+    for (const ChunkId& chunk : all_chunks) {
+      auto sit = cached_stats_.find(chunk);
+      if (sit != cached_stats_.end()) {
+        UpdateStat(sit->second, now);
+        cached_.InsertOrUpdate(chunk, VirtualKey(sit->second));
+        continue;
+      }
+      ChunkStat stat;
+      if (const ChunkStat* h = history_.Peek(chunk)) {
+        stat = *h;
+        UpdateStat(stat, now);
+      } else {
+        double estimate = EstimateIat(chunk, now);
+        stat.dt = std::isfinite(estimate) ? estimate : std::max(CacheAge(now), kMinIat);
+        stat.t_last = now;
+      }
+      HistoryPut(chunk, stat);
+    }
+    outcome.decision = Decision::kRedirect;
+  }
+
+  // Request-rate tracking and, when enabled, off-peak prefetching (Sec. 10).
+  if (last_arrival_ >= 0.0 && now > last_arrival_) {
+    double instantaneous = 1.0 / (now - last_arrival_);
+    double smoothing = options_.proactive_rate_smoothing;
+    rate_estimate_ = rate_estimate_ <= 0.0
+                         ? instantaneous
+                         : smoothing * instantaneous + (1.0 - smoothing) * rate_estimate_;
+    peak_rate_ = std::max(peak_rate_ * (1.0 - smoothing * 0.01), rate_estimate_);
+  }
+  last_arrival_ = now;
+  if (options_.proactive) {
+    outcome.proactive_filled_chunks = ProactiveFill(now);
+  }
+
+  CleanupHistory(now);
+  return outcome;
+}
+
+}  // namespace vcdn::core

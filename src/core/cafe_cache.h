@@ -1,0 +1,142 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Cafe Cache (Sec. 6): Chunk-Aware, Fill-Efficient video cache.
+//
+// For each request R over chunk set S (missing subset S', eviction victims
+// S''), Cafe serves iff the expected cost of serving is below the expected
+// cost of redirecting:
+//
+//   E[serve]    = |S'| C_F + sum_{x in S''} (T / IAT_x) min(C_F, C_R)   (Eq. 6)
+//   E[redirect] = |S|  C_R + sum_{x in S'} (T / IAT_x) min(C_F, C_R)   (Eq. 7)
+//
+// Chunk popularity is a per-chunk EWMA inter-arrival time (Eq. 8):
+//   dt_x <- gamma (t - t_x) + (1 - gamma) dt_x;  t_x <- t
+//   IAT_x(t') = gamma (t' - t_x) + (1 - gamma) dt_x
+//
+// Cached chunks are kept in an ordered set under the *virtual timestamp* of
+// Theorem 1 evaluated at the fixed reference T0 = 0:
+//   key_x = gamma * t_x - (1 - gamma) * dt_x
+// which orders chunks identically to IAT at any time (smaller key <=> larger
+// IAT <=> less popular). Keys must all be computed at one common T0 -- the
+// in-text form key_x(t) = t - IAT_x(t) drifts by (1-gamma)t and is only
+// consistent per Theorem 1's fixed-T0 statement; see cafe_cache_test.cc for
+// the property test.
+//
+// The lookahead window T is the cache age, measured as the IAT of the least
+// popular cached chunk. Chunks never seen before inherit the largest IAT
+// among their video's cached chunks (Sec. 6's final optimization); failing
+// that they contribute no expected future cost.
+
+#ifndef VCDN_SRC_CORE_CAFE_CACHE_H_
+#define VCDN_SRC_CORE_CAFE_CACHE_H_
+
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/container/lru_map.h"
+#include "src/container/ordered_key_set.h"
+#include "src/core/cache_algorithm.h"
+
+namespace vcdn::core {
+
+struct CafeOptions {
+  // EWMA smoothing factor gamma (Eq. 8); the paper uses 0.25 throughout.
+  double gamma = 0.25;
+  // History entries (tracked but uncached chunks) older than
+  // retention_factor * cache_age / min(1, alpha) are garbage-collected,
+  // mirroring xLRU's "historic data ... is regularly cleaned up".
+  double history_retention_factor = 2.0;
+  // Use the per-video largest-IAT estimate for never-seen chunks (the Sec. 6
+  // optimization). Disabled in one ablation bench.
+  bool estimate_unseen_from_video = true;
+
+  // Proactive caching for spare ingress (Sec. 10 future work): during
+  // off-peak hours ("such as proactive caching during early morning hours")
+  // the cache prefetches the most popular *uncached* tracked chunks, as long
+  // as they are more popular than the least popular cached chunk. Off-peak
+  // is detected as the smoothed request rate dropping below
+  // proactive_rate_threshold of the observed peak rate.
+  bool proactive = false;
+  double proactive_rate_threshold = 0.6;
+  uint32_t proactive_fills_per_request = 2;
+  // Smoothing for the request-rate estimate and decay of the peak tracker.
+  double proactive_rate_smoothing = 0.02;
+  // How much a spare (off-peak) ingress byte costs relative to C_F. The
+  // point of Sec. 10's proactive caching is that night-time uplink capacity
+  // is otherwise wasted, so its effective cost is below the C_F charged at
+  // peak; a prefetch happens when its expected future savings exceed
+  // C_F * this discount (1.0 = spare ingress is not actually cheaper).
+  double proactive_cost_discount = 0.5;
+};
+
+class CafeCache : public CacheAlgorithm {
+ public:
+  CafeCache(const CacheConfig& config, const CafeOptions& options = {});
+
+  RequestOutcome HandleRequest(const trace::Request& request) override;
+  std::string_view name() const override { return "Cafe"; }
+  uint64_t used_chunks() const override { return cached_.size(); }
+  bool ContainsChunk(const ChunkId& chunk) const override { return cached_.Contains(chunk); }
+
+  // IAT of the least popular cached chunk at `now` (the window T / cache
+  // age); 0 when the cache is empty. Exposed for tests.
+  double CacheAge(double now) const;
+
+  // Estimated IAT of a chunk at `now`: from its own history if tracked,
+  // otherwise from its video's cached chunks, otherwise +infinity.
+  // Exposed for tests.
+  double EstimateIat(const ChunkId& chunk, double now) const;
+
+  size_t tracked_history_chunks() const { return history_.size(); }
+
+ private:
+  struct ChunkStat {
+    double dt = 0.0;      // EWMA-smoothed inter-arrival time
+    double t_last = 0.0;  // last access time
+  };
+
+  double IatOf(const ChunkStat& stat, double now) const;
+  // Theorem-1 virtual timestamp at T0 = 0.
+  double VirtualKey(const ChunkStat& stat) const;
+  void UpdateStat(ChunkStat& stat, double now) const;
+  void CleanupHistory(double now);
+
+  // History bookkeeping (keeps history_ and history_by_key_ in sync).
+  void HistoryPut(const ChunkId& chunk, const ChunkStat& stat);
+  void HistoryErase(const ChunkId& chunk);
+  // Moves a chunk's stat into the cached structures.
+  void CacheInsert(const ChunkId& chunk, const ChunkStat& stat);
+  // Evicts a cached chunk, moving its stat back to history.
+  void CacheEvict(const ChunkId& chunk);
+  // Off-peak prefetching; returns the number of chunks filled.
+  uint32_t ProactiveFill(double now);
+
+  CafeOptions options_;
+
+  // Cached chunks ordered by virtual timestamp (ascending = least popular
+  // first), plus their popularity stats.
+  container::OrderedKeySet<ChunkId, double, ChunkIdHash> cached_;
+  std::unordered_map<ChunkId, ChunkStat, ChunkIdHash> cached_stats_;
+  // Chunks of each video currently on disk (for the unseen-chunk estimate).
+  std::unordered_map<VideoId, std::unordered_set<uint32_t>> video_chunks_;
+  // Popularity history of chunks *not* on disk, in recency order for cleanup.
+  container::LruMap<ChunkId, ChunkStat, ChunkIdHash> history_;
+  // The same chunks ordered by virtual timestamp (Max() = most popular
+  // uncached chunk), the proactive-fill candidate pool.
+  container::OrderedKeySet<ChunkId, double, ChunkIdHash> history_by_key_;
+  // Videos ever seen (recency-ordered, cleaned with history_); a request for
+  // a never-seen video is always redirected, as in xLRU.
+  container::LruMap<VideoId, double> video_seen_;
+  double first_request_time_ = -1.0;
+
+  // Request-rate tracking for off-peak detection.
+  double last_arrival_ = -1.0;
+  double rate_estimate_ = 0.0;
+  double peak_rate_ = 0.0;
+};
+
+}  // namespace vcdn::core
+
+#endif  // VCDN_SRC_CORE_CAFE_CACHE_H_

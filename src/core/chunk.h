@@ -1,0 +1,73 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Fixed-size chunk model (Sec. 4): "we can divide the disk and the files into
+// small chunks of fixed size K bytes (e.g., 2 MB). ... we deal with units of
+// data uniquely identified with a video ID v and chunk number c."
+
+#ifndef VCDN_SRC_CORE_CHUNK_H_
+#define VCDN_SRC_CORE_CHUNK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "src/trace/request.h"
+#include "src/util/check.h"
+
+namespace vcdn::core {
+
+inline constexpr uint64_t kDefaultChunkBytes = 2ull << 20;  // 2 MB, as in the paper
+
+using trace::VideoId;
+
+struct ChunkId {
+  VideoId video = 0;
+  uint32_t index = 0;
+
+  friend bool operator==(const ChunkId& a, const ChunkId& b) {
+    return a.video == b.video && a.index == b.index;
+  }
+  friend bool operator<(const ChunkId& a, const ChunkId& b) {
+    if (a.video != b.video) {
+      return a.video < b.video;
+    }
+    return a.index < b.index;
+  }
+};
+
+struct ChunkIdHash {
+  size_t operator()(const ChunkId& c) const {
+    // 64-bit mix of (video, index); videos dominate the entropy.
+    uint64_t h = c.video * 0x9E3779B97F4A7C15ULL ^ (static_cast<uint64_t>(c.index) << 1);
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    return static_cast<size_t>(h);
+  }
+};
+
+// Inclusive chunk index range [first, last].
+struct ChunkRange {
+  uint32_t first = 0;
+  uint32_t last = 0;
+
+  uint32_t count() const {
+    VCDN_DCHECK(last >= first);
+    return last - first + 1;
+  }
+};
+
+// Chunk range covered by the inclusive byte range of a request:
+// [floor(b0 / K), floor(b1 / K)].
+inline ChunkRange ToChunkRange(const trace::Request& r, uint64_t chunk_bytes) {
+  VCDN_DCHECK(chunk_bytes > 0);
+  VCDN_DCHECK(r.byte_end >= r.byte_begin);
+  ChunkRange range;
+  range.first = static_cast<uint32_t>(r.byte_begin / chunk_bytes);
+  range.last = static_cast<uint32_t>(r.byte_end / chunk_bytes);
+  return range;
+}
+
+}  // namespace vcdn::core
+
+#endif  // VCDN_SRC_CORE_CHUNK_H_

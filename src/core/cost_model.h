@@ -1,0 +1,59 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// The ingress-vs-redirect cost model of Sec. 4.1-4.2.
+//
+// Each cache-filled byte costs C_F and each redirected byte costs C_R; only
+// their ratio alpha_F2R = C_F / C_R matters, so they are normalized to
+// C_F + C_R = 2 (Eq. 3), giving C_F = 2a/(a+1) and C_R = 2/(a+1) (Eq. 4).
+// Cache efficiency (Eq. 2) is
+//     1 - (filled_bytes / requested_bytes) * C_F
+//       - (redirected_bytes / requested_bytes) * C_R        in [-1, 1],
+// where fills are counted at chunk granularity (a chunk is fetched in full
+// even if requested partially) and redirects at byte granularity.
+
+#ifndef VCDN_SRC_CORE_COST_MODEL_H_
+#define VCDN_SRC_CORE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/util/check.h"
+
+namespace vcdn::core {
+
+class CostModel {
+ public:
+  // alpha_f2r > 0. Common operating points (Sec. 4.1): 1 for indifferent
+  // servers, 2 (default for constrained servers), 0.5-0.75 for cheap ingress.
+  explicit CostModel(double alpha_f2r) : alpha_(alpha_f2r) {
+    VCDN_CHECK(alpha_f2r > 0.0);
+  }
+
+  double alpha_f2r() const { return alpha_; }
+
+  // Eq. (4).
+  double fill_cost() const { return 2.0 * alpha_ / (alpha_ + 1.0); }
+  double redirect_cost() const { return 2.0 / (alpha_ + 1.0); }
+  double min_cost() const { return fill_cost() < redirect_cost() ? fill_cost() : redirect_cost(); }
+
+  // Eq. (1): total cost of a serving pattern.
+  double TotalCost(uint64_t ingress_bytes, uint64_t redirected_bytes) const {
+    return static_cast<double>(ingress_bytes) * fill_cost() +
+           static_cast<double>(redirected_bytes) * redirect_cost();
+  }
+
+  // Eq. (2): cache efficiency. requested_bytes must be > 0.
+  double Efficiency(uint64_t filled_bytes, uint64_t redirected_bytes,
+                    uint64_t requested_bytes) const {
+    VCDN_CHECK(requested_bytes > 0);
+    double rq = static_cast<double>(requested_bytes);
+    return 1.0 - static_cast<double>(filled_bytes) / rq * fill_cost() -
+           static_cast<double>(redirected_bytes) / rq * redirect_cost();
+  }
+
+ private:
+  double alpha_;
+};
+
+}  // namespace vcdn::core
+
+#endif  // VCDN_SRC_CORE_COST_MODEL_H_

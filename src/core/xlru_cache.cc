@@ -1,0 +1,96 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/core/xlru_cache.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace vcdn::core {
+
+namespace {
+// Tracker entries older than cache_age / min(1, alpha) can never pass Eq. (5)
+// again; a small safety factor avoids dropping entries right at the border
+// while the cache age is still growing.
+constexpr double kTrackerRetentionSlack = 1.25;
+}  // namespace
+
+XlruCache::XlruCache(const CacheConfig& config) : CacheAlgorithm(config) {}
+
+double XlruCache::CacheAge(double now) const {
+  if (disk_.empty()) {
+    return 0.0;
+  }
+  return now - disk_.Oldest().value;
+}
+
+void XlruCache::CleanupTracker(double now) {
+  double age = CacheAge(now);
+  if (age <= 0.0) {
+    return;
+  }
+  double horizon = age / std::min(1.0, config_.alpha_f2r) * kTrackerRetentionSlack;
+  while (!tracker_.empty() && now - tracker_.Oldest().value > horizon) {
+    tracker_.PopOldest();
+  }
+}
+
+RequestOutcome XlruCache::HandleRequest(const trace::Request& request) {
+  const double now = request.arrival_time;
+  RequestOutcome outcome = MakeOutcome(request);
+  ChunkRange range = ToChunkRange(request, config_.chunk_bytes);
+
+  // Popularity test (Fig. 1 lines 1-4): read the previous access time, then
+  // record this access.
+  const double* last = tracker_.Peek(request.video);
+  bool seen_before = last != nullptr;
+  double last_time = seen_before ? *last : 0.0;
+  tracker_.InsertOrTouch(request.video, now);
+  CleanupTracker(now);
+
+  bool disk_full = disk_.size() >= config_.disk_capacity_chunks;
+  if (!seen_before) {
+    outcome.decision = Decision::kRedirect;
+    return outcome;
+  }
+  // Eq. (5): redirect if the video's inter-arrival time, scaled by the
+  // fill-to-redirect preference, exceeds the cache age. Only enforced once
+  // the disk is full (warm-up admits all previously seen videos).
+  if (disk_full && (now - last_time) * config_.alpha_f2r > CacheAge(now)) {
+    outcome.decision = Decision::kRedirect;
+    return outcome;
+  }
+  // A range wider than the whole disk cannot be held.
+  if (range.count() > config_.disk_capacity_chunks) {
+    outcome.decision = Decision::kRedirect;
+    return outcome;
+  }
+
+  // Serve: touch hits, fill misses (evicting the LRU chunks as needed).
+  std::vector<uint32_t> missing;
+  for (uint32_t c = range.first; c <= range.last; ++c) {
+    ChunkId chunk{request.video, c};
+    if (disk_.Contains(chunk)) {
+      ++outcome.hit_chunks;
+      disk_.InsertOrTouch(chunk, now);
+    } else {
+      missing.push_back(c);
+    }
+  }
+  uint64_t needed = disk_.size() + missing.size();
+  uint64_t to_evict = needed > config_.disk_capacity_chunks
+                          ? needed - config_.disk_capacity_chunks
+                          : 0;
+  for (uint64_t i = 0; i < to_evict; ++i) {
+    disk_.PopOldest();
+    ++outcome.evicted_chunks;
+  }
+  for (uint32_t c : missing) {
+    disk_.InsertOrTouch(ChunkId{request.video, c}, now);
+    ++outcome.filled_chunks;
+  }
+
+  outcome.decision = Decision::kServe;
+  return outcome;
+}
+
+}  // namespace vcdn::core

@@ -1,0 +1,77 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/lp/model.h"
+
+#include <algorithm>
+
+namespace vcdn::lp {
+
+int32_t Model::AddVariable(double lower, double upper, double objective) {
+  VCDN_CHECK(lower <= upper);
+  objective_.push_back(objective);
+  column_lower_.push_back(lower);
+  column_upper_.push_back(upper);
+  return static_cast<int32_t>(objective_.size()) - 1;
+}
+
+int32_t Model::AddRow(double lower, double upper) {
+  VCDN_CHECK(lower <= upper);
+  row_lower_.push_back(lower);
+  row_upper_.push_back(upper);
+  return static_cast<int32_t>(row_lower_.size()) - 1;
+}
+
+void Model::AddCoefficient(int32_t row, int32_t column, double value) {
+  VCDN_CHECK(row >= 0 && row < num_rows());
+  VCDN_CHECK(column >= 0 && column < num_columns());
+  if (value == 0.0) {
+    return;
+  }
+  entries_.push_back(SparseEntry{row, column, value});
+}
+
+CompiledModel Model::Compile() const {
+  CompiledModel compiled;
+  compiled.num_rows = num_rows();
+  compiled.num_columns = num_columns();
+  compiled.objective = objective_;
+  compiled.column_lower = column_lower_;
+  compiled.column_upper = column_upper_;
+  compiled.row_lower = row_lower_;
+  compiled.row_upper = row_upper_;
+
+  // Sort triplets column-major and merge duplicates.
+  std::vector<SparseEntry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(), [](const SparseEntry& a, const SparseEntry& b) {
+    if (a.column != b.column) {
+      return a.column < b.column;
+    }
+    return a.row < b.row;
+  });
+
+  compiled.column_start.assign(static_cast<size_t>(compiled.num_columns) + 1, 0);
+  compiled.row_index.reserve(sorted.size());
+  compiled.value.reserve(sorted.size());
+  size_t i = 0;
+  for (int32_t col = 0; col < compiled.num_columns; ++col) {
+    compiled.column_start[static_cast<size_t>(col)] =
+        static_cast<int64_t>(compiled.row_index.size());
+    while (i < sorted.size() && sorted[i].column == col) {
+      int32_t row = sorted[i].row;
+      double sum = 0.0;
+      while (i < sorted.size() && sorted[i].column == col && sorted[i].row == row) {
+        sum += sorted[i].value;
+        ++i;
+      }
+      if (sum != 0.0) {
+        compiled.row_index.push_back(row);
+        compiled.value.push_back(sum);
+      }
+    }
+  }
+  compiled.column_start[static_cast<size_t>(compiled.num_columns)] =
+      static_cast<int64_t>(compiled.row_index.size());
+  return compiled;
+}
+
+}  // namespace vcdn::lp

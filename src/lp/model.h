@@ -1,0 +1,74 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// LP model builder: minimize c'x subject to row bounds L <= Ax <= U and
+// variable bounds l <= x <= u. Built for the offline Optimal cache (Sec. 7)
+// but fully general. Constraints are stored sparsely (triplets compiled into
+// column-major form by Compile()).
+
+#ifndef VCDN_SRC_LP_MODEL_H_
+#define VCDN_SRC_LP_MODEL_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace vcdn::lp {
+
+inline constexpr double kLpInfinity = std::numeric_limits<double>::infinity();
+
+struct SparseEntry {
+  int32_t row = 0;
+  int32_t column = 0;
+  double value = 0.0;
+};
+
+// Column-major compiled form used by the solver.
+struct CompiledModel {
+  int32_t num_rows = 0;
+  int32_t num_columns = 0;
+  std::vector<double> objective;      // per column
+  std::vector<double> column_lower;   // per column
+  std::vector<double> column_upper;   // per column
+  std::vector<double> row_lower;      // per row
+  std::vector<double> row_upper;      // per row
+  // CSC storage of A.
+  std::vector<int64_t> column_start;  // size num_columns + 1
+  std::vector<int32_t> row_index;     // size nnz
+  std::vector<double> value;          // size nnz
+};
+
+class Model {
+ public:
+  // Adds a variable with bounds [lower, upper] and objective coefficient.
+  // Returns its column index.
+  int32_t AddVariable(double lower, double upper, double objective);
+
+  // Adds a row (constraint) with bounds [lower, upper]. Returns its index.
+  // Use lower == upper for equalities; +/-kLpInfinity for one-sided rows.
+  int32_t AddRow(double lower, double upper);
+
+  // Adds A[row, column] += value.
+  void AddCoefficient(int32_t row, int32_t column, double value);
+
+  int32_t num_rows() const { return static_cast<int32_t>(row_lower_.size()); }
+  int32_t num_columns() const { return static_cast<int32_t>(objective_.size()); }
+  size_t num_entries() const { return entries_.size(); }
+
+  // Compiles to column-major form; duplicate (row, column) entries are summed.
+  CompiledModel Compile() const;
+
+ private:
+  std::vector<double> objective_;
+  std::vector<double> column_lower_;
+  std::vector<double> column_upper_;
+  std::vector<double> row_lower_;
+  std::vector<double> row_upper_;
+  std::vector<SparseEntry> entries_;
+};
+
+}  // namespace vcdn::lp
+
+#endif  // VCDN_SRC_LP_MODEL_H_

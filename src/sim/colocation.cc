@@ -1,0 +1,84 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/sim/colocation.h"
+
+#include <algorithm>
+
+#include "src/util/rng.h"
+
+namespace vcdn::sim {
+
+namespace {
+
+// Stable 64-bit mix of the video id (splitmix-style finalizer), so shard
+// assignment is reproducible and uncorrelated with id locality.
+uint64_t MixVideoId(trace::VideoId id) {
+  uint64_t z = id + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ColocationResult RunColocated(const trace::Trace& site_trace, const ColocationConfig& config) {
+  VCDN_CHECK(config.num_servers > 0);
+  util::Pcg32 rng(config.seed, /*stream=*/77);
+
+  // Shard the request stream.
+  std::vector<trace::Trace> shards(config.num_servers);
+  for (auto& shard : shards) {
+    shard.duration = site_trace.duration;
+  }
+  for (const trace::Request& r : site_trace.requests) {
+    size_t server;
+    if (config.policy == ColocationPolicy::kHashMod) {
+      server = static_cast<size_t>(MixVideoId(r.video) % config.num_servers);
+    } else {
+      server = static_cast<size_t>(rng.NextBounded(static_cast<uint32_t>(config.num_servers)));
+    }
+    shards[server].requests.push_back(r);
+  }
+
+  ColocationResult result;
+  uint64_t max_requested = 0;
+  uint64_t total_requested = 0;
+  for (size_t s = 0; s < config.num_servers; ++s) {
+    auto cache = core::MakeCache(config.kind, config.per_server_config);
+    ReplayResult server_result = Replay(*cache, shards[s], config.replay);
+    max_requested = std::max(max_requested, server_result.steady.requested_bytes);
+    total_requested += server_result.steady.requested_bytes;
+
+    // Aggregate steady-state counters.
+    ReplayTotals& c = result.combined;
+    const ReplayTotals& t = server_result.steady;
+    c.requests += t.requests;
+    c.served_requests += t.served_requests;
+    c.redirected_requests += t.redirected_requests;
+    c.requested_bytes += t.requested_bytes;
+    c.served_bytes += t.served_bytes;
+    c.redirected_bytes += t.redirected_bytes;
+    c.filled_bytes += t.filled_bytes;
+    c.evicted_chunks += t.evicted_chunks;
+    c.requested_chunks += t.requested_chunks;
+    c.filled_chunks += t.filled_chunks;
+    c.redirected_chunks += t.redirected_chunks;
+    c.proactive_filled_chunks += t.proactive_filled_chunks;
+
+    result.servers.push_back(std::move(server_result));
+  }
+
+  core::CostModel cost(config.per_server_config.alpha_f2r);
+  if (result.combined.requested_bytes > 0) {
+    result.combined_efficiency = result.combined.Efficiency(cost);
+    result.combined_ingress_fraction = result.combined.IngressFraction();
+    result.combined_redirect_fraction = result.combined.RedirectFraction();
+  }
+  double mean_requested =
+      static_cast<double>(total_requested) / static_cast<double>(config.num_servers);
+  result.load_imbalance =
+      mean_requested > 0.0 ? static_cast<double>(max_requested) / mean_requested : 1.0;
+  return result;
+}
+
+}  // namespace vcdn::sim

@@ -1,0 +1,88 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/sim/hierarchy.h"
+
+#include <algorithm>
+
+namespace vcdn::sim {
+
+HierarchyResult RunHierarchy(const std::vector<trace::Trace>& edge_traces,
+                             const HierarchyConfig& config) {
+  VCDN_CHECK(!edge_traces.empty());
+  HierarchyResult result;
+
+  // Phase 1: edges. Collect each edge's redirected requests.
+  trace::Trace parent_trace;
+  double max_duration = 0.0;
+  for (const trace::Trace& edge_trace : edge_traces) {
+    auto edge = core::MakeCache(config.edge_kind, config.edge_config);
+    edge->Prepare(edge_trace);
+    MetricsCollector collector(config.edge_config.chunk_bytes,
+                               edge_trace.duration * config.replay.measurement_start_fraction,
+                               config.replay.bucket_seconds);
+    for (const trace::Request& request : edge_trace.requests) {
+      core::RequestOutcome outcome = edge->HandleRequest(request);
+      collector.Record(request.arrival_time, outcome);
+      if (outcome.decision == core::Decision::kRedirect) {
+        parent_trace.requests.push_back(request);
+      }
+    }
+    ReplayResult edge_result;
+    edge_result.cache_name = std::string(edge->name());
+    edge_result.alpha_f2r = config.edge_config.alpha_f2r;
+    edge_result.totals = collector.totals();
+    edge_result.steady = collector.steady();
+    edge_result.series = collector.Series();
+    edge_result.efficiency = edge_result.steady.Efficiency(edge->cost_model());
+    edge_result.ingress_fraction = edge_result.steady.IngressFraction();
+    edge_result.redirect_fraction = edge_result.steady.RedirectFraction();
+    result.edges.push_back(std::move(edge_result));
+    max_duration = std::max(max_duration, edge_trace.duration);
+  }
+
+  // Phase 2: parent sees the time-ordered merge of all edge redirects.
+  std::stable_sort(parent_trace.requests.begin(), parent_trace.requests.end(),
+                   [](const trace::Request& a, const trace::Request& b) {
+                     return a.arrival_time < b.arrival_time;
+                   });
+  parent_trace.duration = max_duration;
+  {
+    auto parent = core::MakeCache(config.parent_kind, config.parent_config);
+    parent->Prepare(parent_trace);
+    MetricsCollector collector(config.parent_config.chunk_bytes,
+                               parent_trace.duration * config.replay.measurement_start_fraction,
+                               config.replay.bucket_seconds);
+    for (const trace::Request& request : parent_trace.requests) {
+      core::RequestOutcome outcome = parent->HandleRequest(request);
+      collector.Record(request.arrival_time, outcome);
+    }
+    result.parent.cache_name = std::string(parent->name());
+    result.parent.alpha_f2r = config.parent_config.alpha_f2r;
+    result.parent.totals = collector.totals();
+    result.parent.steady = collector.steady();
+    result.parent.series = collector.Series();
+    result.parent.efficiency = result.parent.steady.Efficiency(parent->cost_model());
+    result.parent.ingress_fraction = result.parent.steady.IngressFraction();
+    result.parent.redirect_fraction = result.parent.steady.RedirectFraction();
+  }
+
+  // CDN-wide aggregates (steady-state windows).
+  for (const ReplayResult& edge : result.edges) {
+    result.requested_bytes += edge.steady.requested_bytes;
+    result.edge_served_bytes += edge.steady.served_bytes;
+    result.edge_filled_bytes += edge.steady.filled_bytes;
+  }
+  result.parent_served_bytes = result.parent.steady.served_bytes;
+  result.parent_filled_bytes = result.parent.steady.filled_bytes;
+  result.origin_bytes = result.parent.steady.redirected_bytes;
+  if (result.requested_bytes > 0) {
+    result.edge_hit_fraction =
+        static_cast<double>(result.edge_served_bytes) / static_cast<double>(result.requested_bytes);
+    result.cdn_hit_fraction =
+        static_cast<double>(result.edge_served_bytes + result.parent_served_bytes) /
+        static_cast<double>(result.requested_bytes);
+  }
+  return result;
+}
+
+}  // namespace vcdn::sim

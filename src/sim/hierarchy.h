@@ -1,0 +1,60 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Two-tier CDN simulation: edge servers redirect their cache misses to a
+// shared parent ("a higher level, larger serving site in a cache hierarchy,
+// which captures redirects of its downstream servers", Sec. 2). This
+// implements the paper's future-work direction of CDN-wide operation on top
+// of per-server alpha_F2R-governed caches (Sec. 10).
+//
+// Mechanics: each edge replays its own trace; every redirected request is
+// forwarded (same timestamp) to the parent, whose request stream is the
+// time-ordered merge of all edge redirects. Whatever the parent redirects is
+// served by the origin. The CDN-wide cost charges edge fills, parent fills
+// and origin-served bytes with configurable per-tier costs.
+
+#ifndef VCDN_SRC_SIM_HIERARCHY_H_
+#define VCDN_SRC_SIM_HIERARCHY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/cache_algorithm.h"
+#include "src/core/cache_factory.h"
+#include "src/sim/replay.h"
+#include "src/trace/request.h"
+
+namespace vcdn::sim {
+
+struct HierarchyConfig {
+  core::CacheKind edge_kind = core::CacheKind::kCafe;
+  core::CacheConfig edge_config;
+  core::CacheKind parent_kind = core::CacheKind::kCafe;
+  core::CacheConfig parent_config;  // typically a deeper cache, lower alpha
+  ReplayOptions replay;
+};
+
+struct HierarchyResult {
+  std::vector<ReplayResult> edges;
+  ReplayResult parent;
+
+  // CDN-wide steady-state aggregates.
+  uint64_t requested_bytes = 0;      // user demand at the edges
+  uint64_t edge_served_bytes = 0;    // served directly by an edge
+  uint64_t edge_filled_bytes = 0;    // edge ingress
+  uint64_t parent_served_bytes = 0;  // edge misses absorbed by the parent
+  uint64_t parent_filled_bytes = 0;  // parent ingress (from origin)
+  uint64_t origin_bytes = 0;         // served by the origin (parent redirects)
+
+  // Fraction of user demand that never left the CDN's edge tier / the CDN.
+  double edge_hit_fraction = 0.0;
+  double cdn_hit_fraction = 0.0;
+};
+
+// Runs the two-tier simulation over one trace per edge server.
+HierarchyResult RunHierarchy(const std::vector<trace::Trace>& edge_traces,
+                             const HierarchyConfig& config);
+
+}  // namespace vcdn::sim
+
+#endif  // VCDN_SRC_SIM_HIERARCHY_H_

@@ -1,0 +1,102 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/sim/metrics.h"
+
+#include <algorithm>
+
+namespace vcdn::sim {
+
+void ReplayTotals::Accumulate(const core::RequestOutcome& outcome, uint64_t chunk_bytes) {
+  ++requests;
+  requested_bytes += outcome.requested_bytes;
+  requested_chunks += outcome.requested_chunks;
+  if (outcome.decision == core::Decision::kServe) {
+    ++served_requests;
+    served_bytes += outcome.requested_bytes;
+    filled_bytes += static_cast<uint64_t>(outcome.filled_chunks) * chunk_bytes;
+    filled_chunks += outcome.filled_chunks;
+  } else {
+    ++redirected_requests;
+    redirected_bytes += outcome.requested_bytes;
+    redirected_chunks += outcome.requested_chunks;
+  }
+  // Proactive prefetches are ingress regardless of this request's decision.
+  filled_bytes += static_cast<uint64_t>(outcome.proactive_filled_chunks) * chunk_bytes;
+  filled_chunks += outcome.proactive_filled_chunks;
+  proactive_filled_chunks += outcome.proactive_filled_chunks;
+  evicted_chunks += outcome.evicted_chunks;
+}
+
+double ReplayTotals::ChunkEfficiency(const core::CostModel& cost) const {
+  if (requested_chunks == 0) {
+    return 0.0;
+  }
+  return cost.Efficiency(filled_chunks, redirected_chunks, requested_chunks);
+}
+
+double ReplayTotals::Efficiency(const core::CostModel& cost) const {
+  if (requested_bytes == 0) {
+    return 0.0;
+  }
+  return cost.Efficiency(filled_bytes, redirected_bytes, requested_bytes);
+}
+
+double ReplayTotals::IngressFraction() const {
+  if (served_bytes == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(filled_bytes) / static_cast<double>(served_bytes);
+}
+
+double ReplayTotals::RedirectFraction() const {
+  if (requested_bytes == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(redirected_bytes) / static_cast<double>(requested_bytes);
+}
+
+MetricsCollector::MetricsCollector(uint64_t chunk_bytes, double measurement_start,
+                                   double bucket_seconds)
+    : chunk_bytes_(chunk_bytes),
+      measurement_start_(measurement_start),
+      requested_(0.0, bucket_seconds),
+      served_(0.0, bucket_seconds),
+      redirected_(0.0, bucket_seconds),
+      filled_(0.0, bucket_seconds) {}
+
+void MetricsCollector::Record(double arrival_time, const core::RequestOutcome& outcome) {
+  totals_.Accumulate(outcome, chunk_bytes_);
+  if (arrival_time >= measurement_start_) {
+    steady_.Accumulate(outcome, chunk_bytes_);
+  }
+  auto bytes = static_cast<double>(outcome.requested_bytes);
+  requested_.Add(arrival_time, bytes);
+  if (outcome.decision == core::Decision::kServe) {
+    served_.Add(arrival_time, bytes);
+    filled_.Add(arrival_time,
+                static_cast<double>(static_cast<uint64_t>(outcome.filled_chunks) * chunk_bytes_));
+  } else {
+    redirected_.Add(arrival_time, bytes);
+  }
+  if (outcome.proactive_filled_chunks > 0) {
+    filled_.Add(arrival_time,
+                static_cast<double>(static_cast<uint64_t>(outcome.proactive_filled_chunks) *
+                                    chunk_bytes_));
+  }
+}
+
+std::vector<SeriesPoint> MetricsCollector::Series() const {
+  size_t n = std::max({requested_.num_buckets(), served_.num_buckets(), redirected_.num_buckets(),
+                       filled_.num_buckets()});
+  std::vector<SeriesPoint> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i].bucket_start = requested_.bucket_start(i);
+    out[i].requested_bytes = static_cast<uint64_t>(requested_.sum(i));
+    out[i].served_bytes = static_cast<uint64_t>(served_.sum(i));
+    out[i].redirected_bytes = static_cast<uint64_t>(redirected_.sum(i));
+    out[i].filled_bytes = static_cast<uint64_t>(filled_.sum(i));
+  }
+  return out;
+}
+
+}  // namespace vcdn::sim

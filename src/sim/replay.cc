@@ -1,0 +1,33 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/sim/replay.h"
+
+namespace vcdn::sim {
+
+ReplayResult Replay(core::CacheAlgorithm& cache, const trace::Trace& trace,
+                    const ReplayOptions& options) {
+  VCDN_CHECK(options.measurement_start_fraction >= 0.0 &&
+             options.measurement_start_fraction < 1.0);
+  cache.Prepare(trace);
+
+  MetricsCollector collector(cache.config().chunk_bytes,
+                             trace.duration * options.measurement_start_fraction,
+                             options.bucket_seconds);
+  for (const trace::Request& request : trace.requests) {
+    core::RequestOutcome outcome = cache.HandleRequest(request);
+    collector.Record(request.arrival_time, outcome);
+  }
+
+  ReplayResult result;
+  result.cache_name = std::string(cache.name());
+  result.alpha_f2r = cache.config().alpha_f2r;
+  result.totals = collector.totals();
+  result.steady = collector.steady();
+  result.series = collector.Series();
+  result.efficiency = result.steady.Efficiency(cache.cost_model());
+  result.ingress_fraction = result.steady.IngressFraction();
+  result.redirect_fraction = result.steady.RedirectFraction();
+  return result;
+}
+
+}  // namespace vcdn::sim

@@ -1,0 +1,47 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Trace replay: drives a CacheAlgorithm over a request log and produces the
+// paper's metrics (Sec. 9 methodology).
+
+#ifndef VCDN_SRC_SIM_REPLAY_H_
+#define VCDN_SRC_SIM_REPLAY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/cache_algorithm.h"
+#include "src/sim/metrics.h"
+#include "src/trace/request.h"
+
+namespace vcdn::sim {
+
+struct ReplayOptions {
+  // Steady-state measurement starts at this fraction of the trace duration
+  // (the paper averages over the second half of the month).
+  double measurement_start_fraction = 0.5;
+  // Time-series bucket width (Fig. 3 plots are hourly).
+  double bucket_seconds = 3600.0;
+};
+
+struct ReplayResult {
+  std::string cache_name;
+  double alpha_f2r = 1.0;
+  ReplayTotals totals;
+  ReplayTotals steady;
+  std::vector<SeriesPoint> series;
+
+  // Steady-state summary metrics (Sec. 9 reporting convention).
+  double efficiency = 0.0;
+  double ingress_fraction = 0.0;
+  double redirect_fraction = 0.0;
+};
+
+// Replays the trace through the cache (calling Prepare first). Requests must
+// be time-ordered.
+ReplayResult Replay(core::CacheAlgorithm& cache, const trace::Trace& trace,
+                    const ReplayOptions& options = {});
+
+}  // namespace vcdn::sim
+
+#endif  // VCDN_SRC_SIM_REPLAY_H_

@@ -1,0 +1,140 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/trace/analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace vcdn::trace {
+
+std::vector<uint64_t> PopularityCurve(const Trace& trace) {
+  std::unordered_map<VideoId, uint64_t> hits;
+  for (const Request& r : trace.requests) {
+    ++hits[r.video];
+  }
+  std::vector<uint64_t> curve;
+  curve.reserve(hits.size());
+  for (const auto& [video, count] : hits) {
+    curve.push_back(count);
+  }
+  std::sort(curve.rbegin(), curve.rend());
+  return curve;
+}
+
+double HeadConcentration(const Trace& trace, double head_fraction) {
+  VCDN_CHECK(head_fraction > 0.0 && head_fraction <= 1.0);
+  std::vector<uint64_t> curve = PopularityCurve(trace);
+  if (curve.empty()) {
+    return 0.0;
+  }
+  uint64_t total = 0;
+  for (uint64_t c : curve) {
+    total += c;
+  }
+  auto head = static_cast<size_t>(static_cast<double>(curve.size()) * head_fraction);
+  head = std::max<size_t>(head, 1);
+  uint64_t head_hits = 0;
+  for (size_t i = 0; i < head && i < curve.size(); ++i) {
+    head_hits += curve[i];
+  }
+  return total == 0 ? 0.0 : static_cast<double>(head_hits) / static_cast<double>(total);
+}
+
+std::vector<uint64_t> DemandByHourOfDay(const Trace& trace) {
+  std::vector<uint64_t> by_hour(24, 0);
+  for (const Request& r : trace.requests) {
+    auto hour = static_cast<size_t>(r.arrival_time / 3600.0);
+    by_hour[hour % 24] += r.size_bytes();
+  }
+  return by_hour;
+}
+
+double DiurnalPeakToTrough(const Trace& trace) {
+  std::vector<uint64_t> by_hour = DemandByHourOfDay(trace);
+  uint64_t peak = 0;
+  uint64_t trough = UINT64_MAX;
+  for (uint64_t v : by_hour) {
+    peak = std::max(peak, v);
+    trough = std::min(trough, v);
+  }
+  if (trough == 0 || trough == UINT64_MAX) {
+    return peak > 0 ? static_cast<double>(peak) : 1.0;
+  }
+  return static_cast<double>(peak) / static_cast<double>(trough);
+}
+
+std::vector<uint64_t> AccessesByChunkPosition(const Trace& trace, uint64_t chunk_bytes,
+                                              size_t max_positions) {
+  VCDN_CHECK(max_positions > 0);
+  std::vector<uint64_t> by_position(max_positions, 0);
+  for (const Request& r : trace.requests) {
+    auto first = static_cast<size_t>(r.byte_begin / chunk_bytes);
+    auto last = static_cast<size_t>(r.byte_end / chunk_bytes);
+    for (size_t c = first; c <= last && c < max_positions; ++c) {
+      ++by_position[c];
+    }
+  }
+  return by_position;
+}
+
+std::vector<uint64_t> WorkingSetGrowth(const Trace& trace, uint64_t chunk_bytes,
+                                       const std::vector<double>& fractions) {
+  std::vector<uint64_t> out;
+  out.reserve(fractions.size());
+  std::unordered_set<uint64_t> seen;
+  size_t next_request = 0;
+  double prev_fraction = 0.0;
+  for (double fraction : fractions) {
+    VCDN_CHECK(fraction > prev_fraction && fraction <= 1.0);
+    prev_fraction = fraction;
+    double horizon = trace.duration * fraction;
+    while (next_request < trace.requests.size() &&
+           trace.requests[next_request].arrival_time <= horizon) {
+      const Request& r = trace.requests[next_request];
+      uint64_t first = r.byte_begin / chunk_bytes;
+      uint64_t last = r.byte_end / chunk_bytes;
+      for (uint64_t c = first; c <= last; ++c) {
+        seen.insert(r.video * 0x100000ull + c);
+      }
+      ++next_request;
+    }
+    out.push_back(seen.size());
+  }
+  return out;
+}
+
+uint64_t BytesForAccessShare(const Trace& trace, uint64_t chunk_bytes, double target_fraction) {
+  VCDN_CHECK(target_fraction > 0.0 && target_fraction <= 1.0);
+  std::unordered_map<uint64_t, uint64_t> chunk_hits;
+  uint64_t total = 0;
+  for (const Request& r : trace.requests) {
+    uint64_t first = r.byte_begin / chunk_bytes;
+    uint64_t last = r.byte_end / chunk_bytes;
+    for (uint64_t c = first; c <= last; ++c) {
+      ++chunk_hits[r.video * 0x100000ull + c];
+      ++total;
+    }
+  }
+  std::vector<uint64_t> counts;
+  counts.reserve(chunk_hits.size());
+  for (const auto& [chunk, count] : chunk_hits) {
+    counts.push_back(count);
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  auto target = static_cast<uint64_t>(static_cast<double>(total) * target_fraction);
+  uint64_t covered = 0;
+  uint64_t chunks = 0;
+  for (uint64_t c : counts) {
+    if (covered >= target) {
+      break;
+    }
+    covered += c;
+    ++chunks;
+  }
+  return chunks * chunk_bytes;
+}
+
+}  // namespace vcdn::trace

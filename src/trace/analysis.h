@@ -1,0 +1,51 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Workload analysis: the statistics the paper's arguments rest on. Used by
+// the trace_explorer example and by tests that validate the generator
+// produces workloads with the right character (Zipf head concentration,
+// diurnal cycle, intra-file skew, working-set growth that motivates
+// footnote 1's "a few percent of higher cache efficiency requires up to a
+// multi-fold increase in disk size").
+
+#ifndef VCDN_SRC_TRACE_ANALYSIS_H_
+#define VCDN_SRC_TRACE_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/request.h"
+
+namespace vcdn::trace {
+
+// Per-video hit counts sorted descending (the popularity curve).
+std::vector<uint64_t> PopularityCurve(const Trace& trace);
+
+// Fraction of all requests landing on the top `head_fraction` of videos
+// (head concentration; ~0.1 -> "top 10% of videos").
+double HeadConcentration(const Trace& trace, double head_fraction);
+
+// Requested bytes per hour-of-day (UTC), length 24.
+std::vector<uint64_t> DemandByHourOfDay(const Trace& trace);
+
+// Peak-to-trough ratio of the hour-of-day demand profile (>= 1).
+double DiurnalPeakToTrough(const Trace& trace);
+
+// Access counts by chunk position within the file, up to `max_positions`
+// (intra-file popularity skew; position 0 is hottest on video workloads).
+std::vector<uint64_t> AccessesByChunkPosition(const Trace& trace, uint64_t chunk_bytes,
+                                              size_t max_positions);
+
+// Number of distinct chunks requested within the first `fraction` of the
+// trace duration, for each fraction given -- the working-set growth curve.
+// Fractions must be ascending in (0, 1].
+std::vector<uint64_t> WorkingSetGrowth(const Trace& trace, uint64_t chunk_bytes,
+                                       const std::vector<double>& fractions);
+
+// Bytes a disk would need to capture `target_fraction` of all chunk accesses
+// if it held exactly the most-accessed chunks (an offline skyline; quantifies
+// footnote 1's diminishing returns of disk size).
+uint64_t BytesForAccessShare(const Trace& trace, uint64_t chunk_bytes, double target_fraction);
+
+}  // namespace vcdn::trace
+
+#endif  // VCDN_SRC_TRACE_ANALYSIS_H_

@@ -1,0 +1,51 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Video catalog metadata produced alongside a synthetic trace. Caches never
+// see this (they only observe requests); it is used by the generator itself,
+// by the Fig. 2 downsampler (file-size capping) and by analysis tooling.
+
+#ifndef VCDN_SRC_TRACE_CATALOG_H_
+#define VCDN_SRC_TRACE_CATALOG_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trace/request.h"
+
+namespace vcdn::trace {
+
+enum class VideoClass {
+  kEvergreen,  // stable long-term popularity (music videos, classics)
+  kTransient,  // news/viral content whose demand decays within days
+};
+
+struct VideoMeta {
+  VideoId id = 0;
+  uint64_t size_bytes = 0;
+  double birth_time = 0.0;  // may be negative for pre-existing catalog
+  VideoClass video_class = VideoClass::kEvergreen;
+  double base_weight = 0.0;  // popularity scale, heavy-tailed across videos
+  double decay_tau = 0.0;    // transient decay constant (seconds); 0 for evergreen
+};
+
+struct Catalog {
+  std::vector<VideoMeta> videos;  // indexed by VideoId
+
+  const VideoMeta& Get(VideoId id) const {
+    VCDN_CHECK(id < videos.size());
+    return videos[id];
+  }
+
+  uint64_t TotalBytes() const {
+    uint64_t total = 0;
+    for (const VideoMeta& v : videos) {
+      total += v.size_bytes;
+    }
+    return total;
+  }
+};
+
+}  // namespace vcdn::trace
+
+#endif  // VCDN_SRC_TRACE_CATALOG_H_

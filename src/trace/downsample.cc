@@ -1,0 +1,89 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/trace/downsample.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace vcdn::trace {
+
+DownsampledTrace DownsampleForOptimal(const Trace& trace, const DownsampleOptions& options) {
+  VCDN_CHECK(options.num_files > 0);
+  VCDN_CHECK(options.file_cap_bytes > 0);
+  double window_end = options.window_start + options.window_seconds;
+
+  // Hit counts per file within the window.
+  std::unordered_map<VideoId, uint64_t> hits;
+  for (const Request& r : trace.requests) {
+    if (r.arrival_time < options.window_start || r.arrival_time >= window_end) {
+      continue;
+    }
+    ++hits[r.video];
+  }
+
+  // Files sorted by hit count (descending), ties broken by id for determinism.
+  std::vector<std::pair<uint64_t, VideoId>> ranked;
+  ranked.reserve(hits.size());
+  for (const auto& [video, count] : hits) {
+    ranked.emplace_back(count, video);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) {
+      return a.first > b.first;
+    }
+    return a.second < b.second;
+  });
+
+  DownsampledTrace out;
+  if (ranked.empty()) {
+    return out;
+  }
+
+  // Uniform selection over the sorted list: head, middle and tail all covered.
+  size_t n = ranked.size();
+  size_t want = std::min(options.num_files, n);
+  std::unordered_set<VideoId> selected_set;
+  for (size_t i = 0; i < want; ++i) {
+    size_t idx = (want == 1) ? 0 : i * (n - 1) / (want - 1);
+    if (selected_set.insert(ranked[idx].second).second) {
+      out.selected.push_back(ranked[idx].second);
+    }
+  }
+
+  for (const Request& r : trace.requests) {
+    if (r.arrival_time < options.window_start || r.arrival_time >= window_end) {
+      continue;
+    }
+    if (selected_set.count(r.video) == 0) {
+      continue;
+    }
+    Request kept = r;
+    kept.arrival_time -= options.window_start;
+    uint64_t cap = options.file_cap_bytes;
+    if (kept.byte_begin >= cap) {
+      // Entire range above the cap: remap into the capped file, preserving
+      // the request's length as far as possible.
+      uint64_t len = kept.size_bytes();
+      kept.byte_begin = kept.byte_begin % cap;
+      kept.byte_end = std::min(kept.byte_begin + len - 1, cap - 1);
+    } else if (kept.byte_end >= cap) {
+      kept.byte_end = cap - 1;
+    }
+    out.trace.requests.push_back(kept);
+    if (options.max_requests > 0 && out.trace.requests.size() >= options.max_requests) {
+      break;
+    }
+  }
+  out.trace.duration = options.window_seconds;
+  if (options.max_requests > 0 && !out.trace.requests.empty()) {
+    out.trace.duration = std::min(options.window_seconds,
+                                  out.trace.requests.back().arrival_time + 1.0);
+  }
+  VCDN_CHECK(out.trace.IsWellFormed());
+  return out;
+}
+
+}  // namespace vcdn::trace

@@ -1,0 +1,170 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/trace/trace_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "src/util/str_util.h"
+
+namespace vcdn::trace {
+
+namespace {
+
+constexpr char kCsvHeader[] = "arrival_time,video,byte_begin,byte_end";
+constexpr char kBinaryMagic[8] = {'V', 'C', 'D', 'N', 'T', 'R', 'C', '1'};
+
+}  // namespace
+
+// --- CSV ---------------------------------------------------------------------
+
+util::Status WriteCsv(const Trace& trace, std::ostream& out) {
+  out << kCsvHeader << "\n";
+  out << "# duration_seconds=" << trace.duration << "\n";
+  char line[128];
+  for (const Request& r : trace.requests) {
+    std::snprintf(line, sizeof(line), "%.6f,%" PRIu64 ",%" PRIu64 ",%" PRIu64 "\n",
+                  r.arrival_time, r.video, r.byte_begin, r.byte_end);
+    out << line;
+  }
+  if (!out) {
+    return util::DataLossError("CSV write failed");
+  }
+  return util::OkStatus();
+}
+
+util::Status WriteCsvFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return util::NotFoundError("cannot open for write: " + path);
+  }
+  return WriteCsv(trace, out);
+}
+
+util::Result<Trace> ReadCsv(std::istream& in) {
+  Trace trace;
+  std::string line;
+  if (!std::getline(in, line) || line != kCsvHeader) {
+    return util::InvalidArgumentError("missing or wrong CSV header");
+  }
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      // Optional metadata comment: "# duration_seconds=<x>".
+      auto eq = line.find('=');
+      if (eq != std::string::npos && line.find("duration_seconds") != std::string::npos) {
+        double d = 0.0;
+        if (util::ParseDouble(std::string_view(line).substr(eq + 1), &d)) {
+          trace.duration = d;
+        }
+      }
+      continue;
+    }
+    auto fields = util::SplitString(line, ',');
+    if (fields.size() != 4) {
+      return util::InvalidArgumentError("line " + std::to_string(line_number) +
+                                        ": expected 4 fields");
+    }
+    Request r;
+    if (!util::ParseDouble(fields[0], &r.arrival_time) || !util::ParseUint64(fields[1], &r.video) ||
+        !util::ParseUint64(fields[2], &r.byte_begin) || !util::ParseUint64(fields[3], &r.byte_end)) {
+      return util::InvalidArgumentError("line " + std::to_string(line_number) + ": parse error");
+    }
+    if (r.byte_end < r.byte_begin) {
+      return util::InvalidArgumentError("line " + std::to_string(line_number) +
+                                        ": byte_end < byte_begin");
+    }
+    trace.requests.push_back(r);
+  }
+  if (trace.duration == 0.0 && !trace.requests.empty()) {
+    trace.duration = trace.requests.back().arrival_time;
+  }
+  if (!trace.IsWellFormed()) {
+    return util::InvalidArgumentError("trace not in arrival-time order");
+  }
+  return trace;
+}
+
+util::Result<Trace> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::NotFoundError("cannot open: " + path);
+  }
+  return ReadCsv(in);
+}
+
+// --- Binary -------------------------------------------------------------------
+
+util::Status WriteBinary(const Trace& trace, std::ostream& out) {
+  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  uint64_t count = trace.requests.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(&trace.duration), sizeof(trace.duration));
+  for (const Request& r : trace.requests) {
+    out.write(reinterpret_cast<const char*>(&r.arrival_time), sizeof(r.arrival_time));
+    out.write(reinterpret_cast<const char*>(&r.video), sizeof(r.video));
+    out.write(reinterpret_cast<const char*>(&r.byte_begin), sizeof(r.byte_begin));
+    out.write(reinterpret_cast<const char*>(&r.byte_end), sizeof(r.byte_end));
+  }
+  if (!out) {
+    return util::DataLossError("binary write failed");
+  }
+  return util::OkStatus();
+}
+
+util::Status WriteBinaryFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return util::NotFoundError("cannot open for write: " + path);
+  }
+  return WriteBinary(trace, out);
+}
+
+util::Result<Trace> ReadBinary(std::istream& in) {
+  char magic[sizeof(kBinaryMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    return util::InvalidArgumentError("bad magic: not a VCDNTRC1 trace");
+  }
+  uint64_t count = 0;
+  Trace trace;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  in.read(reinterpret_cast<char*>(&trace.duration), sizeof(trace.duration));
+  if (!in) {
+    return util::DataLossError("truncated header");
+  }
+  trace.requests.resize(count);
+  for (Request& r : trace.requests) {
+    in.read(reinterpret_cast<char*>(&r.arrival_time), sizeof(r.arrival_time));
+    in.read(reinterpret_cast<char*>(&r.video), sizeof(r.video));
+    in.read(reinterpret_cast<char*>(&r.byte_begin), sizeof(r.byte_begin));
+    in.read(reinterpret_cast<char*>(&r.byte_end), sizeof(r.byte_end));
+  }
+  if (!in) {
+    return util::DataLossError("truncated record stream");
+  }
+  if (!trace.IsWellFormed()) {
+    return util::InvalidArgumentError("trace not well-formed");
+  }
+  return trace;
+}
+
+util::Result<Trace> ReadBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::NotFoundError("cannot open: " + path);
+  }
+  return ReadBinary(in);
+}
+
+}  // namespace vcdn::trace

@@ -1,0 +1,206 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/trace/workload_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/distributions.h"
+#include "src/util/rng.h"
+
+namespace vcdn::trace {
+
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+constexpr double kSecondsPerWeek = 7.0 * kSecondsPerDay;
+// Age of the oldest pre-existing catalog entries relative to trace start.
+constexpr double kCatalogHistorySeconds = 45.0 * kSecondsPerDay;
+// Minimum bytes a view consumes (a player fetches at least its startup buffer).
+constexpr uint64_t kMinViewBytes = 64ull << 10;
+
+// Distinct PCG32 stream ids so that each aspect of generation has an
+// independent, reproducible random sequence.
+enum RngStream : uint64_t {
+  kStreamCatalog = 1,
+  kStreamArrivals = 2,
+  kStreamVideoPick = 3,
+  kStreamRange = 4,
+};
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config) : config_(std::move(config)) {
+  VCDN_CHECK(config_.duration_seconds > 0.0);
+  VCDN_CHECK(config_.popularity_refresh_seconds > 0.0);
+  VCDN_CHECK(config_.profile.catalog_size > 0);
+  VCDN_CHECK(config_.profile.base_request_rate > 0.0);
+  VCDN_CHECK(config_.profile.diurnal_amplitude >= 0.0 && config_.profile.diurnal_amplitude < 1.0);
+}
+
+double WorkloadGenerator::DiurnalFactor(const ServerProfile& profile, double t) {
+  // Server-local time-of-day; demand peaks at ~20:00 local and bottoms out at
+  // ~08:00 local. A mild weekly swing is superimposed.
+  double local = t + profile.timezone_offset_hours * 3600.0;
+  double day_phase = 2.0 * M_PI * (local / kSecondsPerDay);
+  // sin peaks when local time-of-day == 20h: shift by 14h (sin peaks at
+  // phase pi/2, i.e. 6h after the shifted origin).
+  double daily = std::sin(day_phase - 2.0 * M_PI * 14.0 / 24.0);
+  double weekly = 0.08 * std::sin(2.0 * M_PI * local / kSecondsPerWeek);
+  double factor = 1.0 + profile.diurnal_amplitude * daily + weekly;
+  return std::max(factor, 0.05);
+}
+
+double WorkloadGenerator::VideoWeightAt(const VideoMeta& video, double t,
+                                        const WorkloadConfig& config) {
+  if (t < video.birth_time) {
+    return 0.0;
+  }
+  double age = t - video.birth_time;
+  double ramp = 1.0;
+  if (config.new_video_ramp_seconds > 0.0 && age < config.new_video_ramp_seconds) {
+    ramp = age / config.new_video_ramp_seconds;
+  }
+  double decay = 1.0;
+  if (video.video_class == VideoClass::kTransient) {
+    VCDN_DCHECK(video.decay_tau > 0.0);
+    decay = std::exp(-age / video.decay_tau);
+  }
+  return video.base_weight * ramp * decay;
+}
+
+GeneratedWorkload WorkloadGenerator::Generate() {
+  const ServerProfile& profile = config_.profile;
+  util::Pcg32 catalog_rng(config_.seed, kStreamCatalog);
+  util::Pcg32 arrival_rng(config_.seed, kStreamArrivals);
+  util::Pcg32 pick_rng(config_.seed, kStreamVideoPick);
+  util::Pcg32 range_rng(config_.seed, kStreamRange);
+
+  GeneratedWorkload out;
+  Catalog& catalog = out.catalog;
+
+  auto make_video = [&](VideoId id, double birth) {
+    VideoMeta v;
+    v.id = id;
+    v.birth_time = birth;
+    double size = util::SampleLogNormal(catalog_rng, profile.size_lognormal_mu,
+                                        profile.size_lognormal_sigma);
+    size = std::clamp(size, static_cast<double>(profile.min_video_bytes),
+                      static_cast<double>(profile.max_video_bytes));
+    v.size_bytes = static_cast<uint64_t>(size);
+    v.base_weight = util::SamplePareto(catalog_rng, 1.0, profile.popularity_shape);
+    if (catalog_rng.NextBool(profile.evergreen_fraction)) {
+      v.video_class = VideoClass::kEvergreen;
+      v.decay_tau = 0.0;
+    } else {
+      v.video_class = VideoClass::kTransient;
+      // Per-video decay constant around the profile mean (at least 12 hours).
+      double tau = util::SampleExponential(catalog_rng, profile.transient_tau_days) + 0.5;
+      v.decay_tau = tau * kSecondsPerDay;
+    }
+    return v;
+  };
+
+  // Pre-existing catalog: births spread over the history window so transient
+  // entries are at various stages of decay at trace start.
+  catalog.videos.reserve(profile.catalog_size + 16);
+  for (size_t i = 0; i < profile.catalog_size; ++i) {
+    double birth = -kCatalogHistorySeconds * catalog_rng.NextDouble();
+    catalog.videos.push_back(make_video(static_cast<VideoId>(i), birth));
+  }
+
+  // Catalog churn: Poisson new-video uploads throughout the trace.
+  double upload_rate = profile.new_videos_per_day / kSecondsPerDay;
+  if (upload_rate > 0.0) {
+    double t = util::SampleExponential(catalog_rng, 1.0 / upload_rate);
+    while (t < config_.duration_seconds) {
+      catalog.videos.push_back(make_video(static_cast<VideoId>(catalog.videos.size()), t));
+      t += util::SampleExponential(catalog_rng, 1.0 / upload_rate);
+    }
+  }
+
+  // Request arrivals: non-homogeneous Poisson process sampled by thinning
+  // against the maximum rate; the popularity table is refreshed on a fixed
+  // cadence to track churn/decay.
+  Trace& trace = out.trace;
+  trace.duration = config_.duration_seconds;
+  double lambda_max = profile.base_request_rate * (1.0 + profile.diurnal_amplitude + 0.1);
+  trace.requests.reserve(
+      static_cast<size_t>(profile.base_request_rate * config_.duration_seconds * 1.05) + 16);
+
+  double step = config_.popularity_refresh_seconds;
+  size_t next_new_video = 0;  // catalog is birth-sorted for the churn segment
+  std::vector<VideoId> active_ids;
+  std::vector<double> active_weights;
+
+  for (double window_start = 0.0; window_start < config_.duration_seconds; window_start += step) {
+    double window_end = std::min(window_start + step, config_.duration_seconds);
+    double window_mid = 0.5 * (window_start + window_end);
+
+    // Rebuild the sampling table from demand weights at the window midpoint.
+    active_ids.clear();
+    active_weights.clear();
+    (void)next_new_video;
+    for (const VideoMeta& v : catalog.videos) {
+      double w = VideoWeightAt(v, window_mid, config_);
+      if (w > config_.weight_floor_fraction * v.base_weight && w > 0.0) {
+        active_ids.push_back(v.id);
+        active_weights.push_back(w);
+      }
+    }
+    if (active_ids.empty()) {
+      continue;
+    }
+    util::AliasTable table(active_weights);
+
+    double t = window_start;
+    for (;;) {
+      t += util::SampleExponential(arrival_rng, 1.0 / lambda_max);
+      if (t >= window_end) {
+        break;
+      }
+      // Thinning acceptance for the diurnal/weekly modulated rate.
+      double accept = profile.base_request_rate * DiurnalFactor(profile, t) / lambda_max;
+      if (!arrival_rng.NextBool(accept)) {
+        continue;
+      }
+
+      const VideoMeta& video = catalog.videos[active_ids[table.Sample(pick_rng)]];
+      if (video.birth_time > t) {
+        // Born later in this sampling window; it cannot be requested yet.
+        continue;
+      }
+
+      Request r;
+      r.arrival_time = t;
+      r.video = video.id;
+
+      // Intra-file pattern: most views start at the head of the file; others
+      // seek into the early part (quadratic skew toward the beginning). View
+      // length is an exponential fraction of the file, truncated at EOF.
+      uint64_t size = video.size_bytes;
+      uint64_t start = 0;
+      if (!range_rng.NextBool(profile.start_at_zero_probability)) {
+        double u = range_rng.NextDouble();
+        double start_fraction = 0.75 * u * u;
+        start = static_cast<uint64_t>(start_fraction * static_cast<double>(size - 1));
+      }
+      double view_fraction = util::SampleExponential(range_rng, profile.mean_view_fraction);
+      auto view_bytes = static_cast<uint64_t>(view_fraction * static_cast<double>(size));
+      view_bytes = std::max(view_bytes, kMinViewBytes);
+      uint64_t end = start + view_bytes - 1;
+      end = std::min(end, size - 1);
+
+      r.byte_begin = start;
+      r.byte_end = end;
+      trace.requests.push_back(r);
+    }
+  }
+
+  VCDN_CHECK(trace.IsWellFormed());
+  return out;
+}
+
+}  // namespace vcdn::trace

@@ -1,0 +1,75 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Synthetic planet-scale video CDN workload generator.
+//
+// This is the documented substitution (see DESIGN.md) for the paper's
+// proprietary one-month production logs. It reproduces the workload
+// properties the paper's evaluation depends on:
+//
+//   * Zipf-like long-tailed video popularity ("a long, heavy tail in the
+//     access frequency curve", Sec. 3) via Pareto-distributed per-video
+//     weights;
+//   * catalog churn and transient demand (">100,000 hours uploaded per day",
+//     Sec. 1; "transient demand patterns", Sec. 1) via Poisson new-video
+//     arrivals and exponentially decaying per-video demand;
+//   * diurnal load ("a diurnal pattern in both ingress and redirection",
+//     Sec. 9 / Fig. 3) via sinusoidal rate modulation in server-local time;
+//   * intra-file popularity skew ("the first segments of the video often
+//     receive the highest number of hits", Sec. 2) via start-at-zero views
+//     and exponentially distributed partial view lengths;
+//   * per-server volume/diversity differences (Fig. 7) via ServerProfile.
+//
+// Generation is fully deterministic for a given (profile, seed).
+
+#ifndef VCDN_SRC_TRACE_WORKLOAD_GENERATOR_H_
+#define VCDN_SRC_TRACE_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/trace/catalog.h"
+#include "src/trace/request.h"
+#include "src/trace/server_profile.h"
+
+namespace vcdn::trace {
+
+struct WorkloadConfig {
+  ServerProfile profile;
+  uint64_t seed = 1;
+  double duration_seconds = 30.0 * 86400.0;
+  // How often the popularity distribution (alias table) is refreshed to
+  // account for churn and decay.
+  double popularity_refresh_seconds = 6.0 * 3600.0;
+  // Demand ramp-up period for a newly uploaded video.
+  double new_video_ramp_seconds = 2.0 * 3600.0;
+  // Videos whose current demand weight falls below this fraction of their
+  // base weight are dropped from the sampling table (dead transients).
+  double weight_floor_fraction = 1e-4;
+};
+
+struct GeneratedWorkload {
+  Trace trace;
+  Catalog catalog;
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig config);
+
+  // Generates the catalog and the full request trace. Deterministic.
+  GeneratedWorkload Generate();
+
+  // Demand-rate multiplier at absolute trace time t (server-local diurnal
+  // cycle plus a mild weekly component). Exposed for tests.
+  static double DiurnalFactor(const ServerProfile& profile, double t);
+
+  // Demand weight of a video at time t given its metadata (0 before birth,
+  // ramp after upload, exponential decay for transients). Exposed for tests.
+  static double VideoWeightAt(const VideoMeta& video, double t, const WorkloadConfig& config);
+
+ private:
+  WorkloadConfig config_;
+};
+
+}  // namespace vcdn::trace
+
+#endif  // VCDN_SRC_TRACE_WORKLOAD_GENERATOR_H_

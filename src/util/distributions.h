@@ -1,0 +1,74 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Portable random distributions built on Pcg32. All are deterministic for a
+// given generator state (the standard library's equivalents are not
+// implementation-stable, which would break trace reproducibility).
+
+#ifndef VCDN_SRC_UTIL_DISTRIBUTIONS_H_
+#define VCDN_SRC_UTIL_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace vcdn::util {
+
+// Exponential variate with the given mean (mean > 0).
+double SampleExponential(Pcg32& rng, double mean);
+
+// Standard normal variate (Box-Muller; one value per call, no caching so the
+// draw count is deterministic).
+double SampleStandardNormal(Pcg32& rng);
+
+// Log-normal variate parameterized by the underlying normal's mu / sigma.
+double SampleLogNormal(Pcg32& rng, double mu, double sigma);
+
+// Pareto variate with scale x_m > 0 and shape alpha > 0: values >= x_m.
+double SamplePareto(Pcg32& rng, double x_m, double alpha);
+
+// Zipf distribution over ranks {1, ..., n} with exponent s >= 0:
+// P(k) proportional to 1 / k^s. Uses Hoermann's rejection-inversion method,
+// O(1) per sample after O(1) setup, exact for all s (s == 1 handled).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double s);
+
+  // Returns a rank in [1, n].
+  uint64_t Sample(Pcg32& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;  // s_ applied to x = 1.5 boundary helper
+};
+
+// Walker alias table for O(1) sampling from an arbitrary discrete
+// distribution. Weights need not be normalized; they must be non-negative and
+// have a positive sum.
+class AliasTable {
+ public:
+  explicit AliasTable(const std::vector<double>& weights);
+
+  // Returns an index in [0, size()).
+  size_t Sample(Pcg32& rng) const;
+
+  size_t size() const { return probability_.size(); }
+
+ private:
+  std::vector<double> probability_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace vcdn::util
+
+#endif  // VCDN_SRC_UTIL_DISTRIBUTIONS_H_

@@ -1,0 +1,65 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Deterministic, platform-independent random number generation.
+//
+// The workload generator must produce bit-identical traces for a given seed on
+// every platform so that experiments are reproducible; the C++ standard
+// library's distributions are implementation-defined, so we implement both the
+// generators (SplitMix64 for seeding, PCG32 for streams) and the distributions
+// (see distributions.h) ourselves.
+
+#ifndef VCDN_SRC_UTIL_RNG_H_
+#define VCDN_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace vcdn::util {
+
+// SplitMix64: tiny generator used to expand a single 64-bit seed into the
+// state of other generators. Reference: Steele, Lea, Flood (2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// PCG32 (pcg_xsh_rr_64_32): small, fast, statistically strong generator with
+// independent streams. Reference: O'Neill (2014).
+class Pcg32 {
+ public:
+  // Distinct (seed, stream) pairs yield independent sequences.
+  explicit Pcg32(uint64_t seed, uint64_t stream = 0);
+
+  // Uniform 32-bit value.
+  uint32_t Next();
+
+  // Uniform 64-bit value (two draws).
+  uint64_t Next64();
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  // Uniform integer in [0, bound) without modulo bias. bound must be > 0.
+  uint32_t NextBounded(uint32_t bound);
+
+  // Bernoulli draw with probability p (clamped to [0, 1]).
+  bool NextBool(double p);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace vcdn::util
+
+#endif  // VCDN_SRC_UTIL_RNG_H_

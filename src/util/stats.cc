@@ -1,0 +1,80 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vcdn::util {
+
+void StatAccumulator::Add(double value) {
+  ++count_;
+  double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double StatAccumulator::variance() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double StatAccumulator::stddev() const { return std::sqrt(variance()); }
+
+void BucketedSeries::Add(double t, double value) {
+  VCDN_CHECK(t >= origin_);
+  auto idx = static_cast<size_t>((t - origin_) / bucket_width_);
+  if (idx >= sums_.size()) {
+    sums_.resize(idx + 1, 0.0);
+  }
+  sums_[idx] += value;
+}
+
+Histogram::Histogram(double lo, double hi, size_t num_buckets)
+    : lo_(lo), hi_(hi), counts_(num_buckets, 0) {
+  VCDN_CHECK(hi > lo);
+  VCDN_CHECK(num_buckets > 0);
+}
+
+void Histogram::Add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<size_t>((value - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+double Histogram::Quantile(double q) const {
+  VCDN_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) {
+    return lo_;
+  }
+  double target = q * static_cast<double>(total_);
+  double cumulative = static_cast<double>(underflow_);
+  if (cumulative >= target) {
+    return lo_;
+  }
+  double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      double frac = (target - cumulative) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + frac * width;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+}  // namespace vcdn::util

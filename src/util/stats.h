@@ -1,0 +1,118 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Streaming statistics helpers used by the simulator and the benches:
+// accumulators, EWMA, bucketed time series, and a fixed-bucket histogram.
+
+#ifndef VCDN_SRC_UTIL_STATS_H_
+#define VCDN_SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace vcdn::util {
+
+// Streaming mean / min / max / variance (Welford).
+class StatAccumulator {
+ public:
+  void Add(double value);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  // Population variance / stddev.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Exponentially weighted moving average. The first observation initializes
+// the average directly (no bias toward zero).
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {
+    VCDN_CHECK(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  void Add(double value) {
+    if (!initialized_) {
+      value_ = value;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * value + (1.0 - alpha_) * value_;
+    }
+  }
+
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+// Accumulates (time, value-sums) into fixed-width time buckets, e.g. hourly
+// ingress bytes over a month. Bucket index = floor((t - origin) / width).
+class BucketedSeries {
+ public:
+  BucketedSeries(double origin, double bucket_width)
+      : origin_(origin), bucket_width_(bucket_width) {
+    VCDN_CHECK(bucket_width > 0.0);
+  }
+
+  void Add(double t, double value);
+
+  size_t num_buckets() const { return sums_.size(); }
+  double bucket_start(size_t i) const { return origin_ + static_cast<double>(i) * bucket_width_; }
+  double bucket_width() const { return bucket_width_; }
+  // Sum of values in bucket i (0 for buckets never touched).
+  double sum(size_t i) const { return i < sums_.size() ? sums_[i] : 0.0; }
+  const std::vector<double>& sums() const { return sums_; }
+
+ private:
+  double origin_;
+  double bucket_width_;
+  std::vector<double> sums_;
+};
+
+// Histogram over [lo, hi) with uniform buckets plus underflow/overflow.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t num_buckets);
+
+  void Add(double value);
+
+  size_t total_count() const { return total_; }
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  size_t num_buckets() const { return counts_.size(); }
+  double bucket_lo(size_t i) const {
+    return lo_ + static_cast<double>(i) * (hi_ - lo_) / static_cast<double>(counts_.size());
+  }
+  // Linear-interpolated quantile in [0, 1] over the bucketed range.
+  double Quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  size_t total_ = 0;
+};
+
+}  // namespace vcdn::util
+
+#endif  // VCDN_SRC_UTIL_STATS_H_

@@ -1,0 +1,122 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Minimal Status / Result<T> error-propagation types. The library is built
+// without exceptions on its main paths; recoverable failures (I/O, parse
+// errors, solver limits) are reported through these types.
+
+#ifndef VCDN_SRC_UTIL_STATUS_H_
+#define VCDN_SRC_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "src/util/check.h"
+
+namespace vcdn::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+  kUnimplemented,
+  kDataLoss,
+};
+
+// Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the success path (no message
+// allocation for OK statuses).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {
+    VCDN_CHECK(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFoundError(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+inline Status OutOfRangeError(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status ResourceExhaustedError(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status InternalError(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+inline Status DataLossError(std::string msg) { return Status(StatusCode::kDataLoss, std::move(msg)); }
+
+// A value or an error. Accessing the value of an error Result is a fatal
+// contract violation (use ok() first).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr ergonomics.
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    VCDN_CHECK_MSG(!std::get<Status>(storage_).ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  const T& value() const& {
+    VCDN_CHECK_MSG(ok(), "Result::value() called on error result");
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    VCDN_CHECK_MSG(ok(), "Result::value() called on error result");
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    VCDN_CHECK_MSG(ok(), "Result::value() called on error result");
+    return std::get<T>(std::move(storage_));
+  }
+
+  Status status() const {
+    if (ok()) {
+      return OkStatus();
+    }
+    return std::get<Status>(storage_);
+  }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace vcdn::util
+
+// Propagates a non-OK status from an expression to the caller.
+#define VCDN_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::vcdn::util::Status vcdn_status_ = (expr); \
+    if (!vcdn_status_.ok()) {                   \
+      return vcdn_status_;                      \
+    }                                           \
+  } while (false)
+
+#endif  // VCDN_SRC_UTIL_STATUS_H_

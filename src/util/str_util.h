@@ -1,0 +1,52 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Small string/formatting helpers used by reporters, trace I/O and benches.
+
+#ifndef VCDN_SRC_UTIL_STR_UTIL_H_
+#define VCDN_SRC_UTIL_STR_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vcdn::util {
+
+// "1.5 GiB", "312.0 MiB", "17 B". Binary units.
+std::string HumanBytes(uint64_t bytes);
+
+// Fixed-point formatting, e.g. FormatDouble(0.73456, 2) == "0.73".
+std::string FormatDouble(double value, int decimals);
+
+// "12.7%" for 0.127 (one decimal by default).
+std::string FormatPercent(double fraction, int decimals = 1);
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string_view> SplitString(std::string_view input, char sep);
+
+// Strict parsers; return false on any malformed/trailing input.
+bool ParseDouble(std::string_view text, double* out);
+bool ParseUint64(std::string_view text, uint64_t* out);
+bool ParseInt64(std::string_view text, int64_t* out);
+
+// A minimal monospaced table printer for bench/report output.
+//
+//   TextTable t({"alpha", "xLRU", "Cafe"});
+//   t.AddRow({"2.0", "0.62", "0.73"});
+//   std::string s = t.ToString();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  std::string ToString() const;
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vcdn::util
+
+#endif  // VCDN_SRC_UTIL_STR_UTIL_H_

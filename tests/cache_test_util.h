@@ -1,0 +1,62 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Shared helpers for cache algorithm tests.
+
+#ifndef VCDN_TESTS_CACHE_TEST_UTIL_H_
+#define VCDN_TESTS_CACHE_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/cache_algorithm.h"
+#include "src/trace/request.h"
+
+namespace vcdn::testing {
+
+// Chunk size used by SmallConfig and (by default) ChunkRequest: small so
+// tests read naturally in chunk units.
+inline constexpr uint64_t kTestChunkBytes = 1024;
+
+// Chunk-granular request builder: requests chunks [c0, c1] of `video` at
+// time t, given the cache's chunk size.
+inline trace::Request ChunkRequest(double t, trace::VideoId video, uint32_t c0, uint32_t c1,
+                                   uint64_t chunk_bytes = kTestChunkBytes) {
+  trace::Request r;
+  r.arrival_time = t;
+  r.video = video;
+  r.byte_begin = static_cast<uint64_t>(c0) * chunk_bytes;
+  r.byte_end = static_cast<uint64_t>(c1 + 1) * chunk_bytes - 1;
+  return r;
+}
+
+// A tiny config: small chunks so tests are readable in chunk units.
+inline core::CacheConfig SmallConfig(uint64_t capacity_chunks, double alpha = 1.0) {
+  core::CacheConfig config;
+  config.chunk_bytes = kTestChunkBytes;
+  config.disk_capacity_chunks = capacity_chunks;
+  config.alpha_f2r = alpha;
+  return config;
+}
+
+// Builds a time-ordered trace from chunk-granular requests described as
+// {t, video, c0, c1}.
+struct ChunkReq {
+  double t;
+  trace::VideoId video;
+  uint32_t c0;
+  uint32_t c1;
+};
+
+inline trace::Trace MakeTrace(const std::vector<ChunkReq>& reqs,
+                              uint64_t chunk_bytes = 1024) {
+  trace::Trace trace;
+  for (const ChunkReq& cr : reqs) {
+    trace.requests.push_back(ChunkRequest(cr.t, cr.video, cr.c0, cr.c1, chunk_bytes));
+  }
+  trace.duration = reqs.empty() ? 0.0 : reqs.back().t + 1.0;
+  return trace;
+}
+
+}  // namespace vcdn::testing
+
+#endif  // VCDN_TESTS_CACHE_TEST_UTIL_H_

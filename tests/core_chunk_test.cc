@@ -1,0 +1,87 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/core/chunk.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace vcdn::core {
+namespace {
+
+constexpr uint64_t kChunk = 2ull << 20;  // 2 MB
+
+trace::Request MakeRequest(uint64_t b0, uint64_t b1) {
+  trace::Request r;
+  r.video = 1;
+  r.byte_begin = b0;
+  r.byte_end = b1;
+  return r;
+}
+
+TEST(ChunkRangeTest, SingleByteInFirstChunk) {
+  ChunkRange range = ToChunkRange(MakeRequest(0, 0), kChunk);
+  EXPECT_EQ(range.first, 0u);
+  EXPECT_EQ(range.last, 0u);
+  EXPECT_EQ(range.count(), 1u);
+}
+
+TEST(ChunkRangeTest, ExactChunkBoundary) {
+  // Bytes [0, K-1] are exactly chunk 0.
+  ChunkRange range = ToChunkRange(MakeRequest(0, kChunk - 1), kChunk);
+  EXPECT_EQ(range.first, 0u);
+  EXPECT_EQ(range.last, 0u);
+  // One byte more spills into chunk 1.
+  range = ToChunkRange(MakeRequest(0, kChunk), kChunk);
+  EXPECT_EQ(range.last, 1u);
+  EXPECT_EQ(range.count(), 2u);
+}
+
+TEST(ChunkRangeTest, MidFileRange) {
+  ChunkRange range = ToChunkRange(MakeRequest(5 * kChunk + 17, 9 * kChunk + 1), kChunk);
+  EXPECT_EQ(range.first, 5u);
+  EXPECT_EQ(range.last, 9u);
+  EXPECT_EQ(range.count(), 5u);
+}
+
+TEST(ChunkRangeTest, RangeWithinOneChunk) {
+  ChunkRange range = ToChunkRange(MakeRequest(3 * kChunk + 5, 3 * kChunk + 100), kChunk);
+  EXPECT_EQ(range.first, 3u);
+  EXPECT_EQ(range.last, 3u);
+}
+
+TEST(ChunkIdTest, EqualityAndOrdering) {
+  ChunkId a{1, 2};
+  ChunkId b{1, 2};
+  ChunkId c{1, 3};
+  ChunkId d{2, 0};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_LT(a, c);
+  EXPECT_LT(c, d);
+}
+
+TEST(ChunkIdHashTest, LowCollisionOnDenseIds) {
+  ChunkIdHash hash;
+  std::unordered_set<size_t> seen;
+  int collisions = 0;
+  for (uint64_t v = 0; v < 200; ++v) {
+    for (uint32_t c = 0; c < 50; ++c) {
+      if (!seen.insert(hash(ChunkId{v, c})).second) {
+        ++collisions;
+      }
+    }
+  }
+  EXPECT_LT(collisions, 3);
+}
+
+TEST(ChunkRangeTest, ParameterizedChunkSizes) {
+  for (uint64_t chunk_bytes : {1ull << 10, 1ull << 20, 2ull << 20, 4ull << 20}) {
+    ChunkRange range = ToChunkRange(MakeRequest(chunk_bytes, 3 * chunk_bytes - 1), chunk_bytes);
+    EXPECT_EQ(range.first, 1u);
+    EXPECT_EQ(range.last, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace vcdn::core

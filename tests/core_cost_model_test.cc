@@ -1,0 +1,85 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace vcdn::core {
+namespace {
+
+TEST(CostModelTest, Eq4Normalization) {
+  // C_F = 2a/(a+1), C_R = 2/(a+1), C_F + C_R = 2 (Eq. 3).
+  for (double alpha : {0.25, 0.5, 1.0, 2.0, 4.0, 10.0}) {
+    CostModel cost(alpha);
+    EXPECT_NEAR(cost.fill_cost() + cost.redirect_cost(), 2.0, 1e-12);
+    EXPECT_NEAR(cost.fill_cost() / cost.redirect_cost(), alpha, 1e-12);
+  }
+}
+
+TEST(CostModelTest, AlphaOneIsUnitCosts) {
+  CostModel cost(1.0);
+  EXPECT_DOUBLE_EQ(cost.fill_cost(), 1.0);
+  EXPECT_DOUBLE_EQ(cost.redirect_cost(), 1.0);
+  EXPECT_DOUBLE_EQ(cost.min_cost(), 1.0);
+}
+
+TEST(CostModelTest, AlphaTwoPaperDefault) {
+  CostModel cost(2.0);
+  EXPECT_NEAR(cost.fill_cost(), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cost.redirect_cost(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cost.min_cost(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CostModelTest, MinCostPicksCheaperSide) {
+  EXPECT_DOUBLE_EQ(CostModel(0.5).min_cost(), CostModel(0.5).fill_cost());
+  EXPECT_DOUBLE_EQ(CostModel(4.0).min_cost(), CostModel(4.0).redirect_cost());
+}
+
+TEST(CostModelTest, EfficiencyAllHitsIsOne) {
+  CostModel cost(2.0);
+  EXPECT_DOUBLE_EQ(cost.Efficiency(0, 0, 1000), 1.0);
+}
+
+TEST(CostModelTest, EfficiencyAllRedirectedAtAlphaOneIsZero) {
+  CostModel cost(1.0);
+  EXPECT_DOUBLE_EQ(cost.Efficiency(0, 1000, 1000), 0.0);
+}
+
+TEST(CostModelTest, EfficiencyAllFilledAtAlphaOneIsZero) {
+  CostModel cost(1.0);
+  EXPECT_DOUBLE_EQ(cost.Efficiency(1000, 0, 1000), 0.0);
+}
+
+TEST(CostModelTest, NegativeEfficiencyWhenFillingUnderConstrainedIngress) {
+  // Footnote 4: a cache that fills everything under alpha > 1 performs worse
+  // than zero.
+  CostModel cost(2.0);
+  EXPECT_LT(cost.Efficiency(1000, 0, 1000), 0.0);
+  EXPECT_NEAR(cost.Efficiency(1000, 0, 1000), 1.0 - 4.0 / 3.0, 1e-12);
+}
+
+TEST(CostModelTest, EfficiencyBoundsExtremes) {
+  // Worst case: everything cache-filled at the most fill-averse alpha -> -1.
+  CostModel cost(1e9);
+  EXPECT_NEAR(cost.Efficiency(1000, 0, 1000), -1.0, 1e-6);
+}
+
+TEST(CostModelTest, TotalCostMatchesEq1) {
+  CostModel cost(2.0);
+  double total = cost.TotalCost(300, 600);
+  EXPECT_NEAR(total, 300.0 * (4.0 / 3.0) + 600.0 * (2.0 / 3.0), 1e-9);
+}
+
+TEST(CostModelTest, EfficiencyEquivalentToMinimizingTotalCost) {
+  // Eq. (2) == 1 - TotalCost / requested (when fills measured in bytes).
+  CostModel cost(1.5);
+  uint64_t requested = 5000;
+  uint64_t filled = 1200;
+  uint64_t redirected = 800;
+  double efficiency = cost.Efficiency(filled, redirected, requested);
+  double from_cost = 1.0 - cost.TotalCost(filled, redirected) / static_cast<double>(requested);
+  EXPECT_NEAR(efficiency, from_cost, 1e-12);
+}
+
+}  // namespace
+}  // namespace vcdn::core

@@ -1,0 +1,177 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Cross-algorithm property tests: invariants every cache implementation must
+// satisfy, swept over (algorithm x alpha x capacity x chunk size) with
+// parameterized gtest. These are the contracts the simulator and the CDN
+// model rely on.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "src/core/cache_factory.h"
+#include "src/sim/replay.h"
+#include "src/util/rng.h"
+#include "tests/cache_test_util.h"
+
+namespace vcdn::core {
+namespace {
+
+using ::vcdn::testing::ChunkRequest;
+
+// A deterministic mixed workload: hot head, warm middle, one-shot tail, with
+// partial ranges and seeks.
+trace::Trace PropertyTrace(uint64_t chunk_bytes, uint64_t seed) {
+  util::Pcg32 rng(seed);
+  trace::Trace trace;
+  double t = 0.0;
+  for (int i = 0; i < 1500; ++i) {
+    t += 0.5 + rng.NextDouble();
+    trace::VideoId v;
+    double kind = rng.NextDouble();
+    if (kind < 0.5) {
+      v = 1 + rng.NextBounded(5);  // hot head
+    } else if (kind < 0.8) {
+      v = 100 + rng.NextBounded(40);  // warm middle
+    } else {
+      v = 10000 + static_cast<trace::VideoId>(i);  // one-shot tail
+    }
+    uint32_t c0 = rng.NextBounded(4);
+    uint32_t c1 = c0 + rng.NextBounded(6);
+    trace.requests.push_back(ChunkRequest(t, v, c0, c1, chunk_bytes));
+  }
+  trace.duration = t + 1.0;
+  return trace;
+}
+
+struct PropertyParam {
+  CacheKind kind;
+  double alpha;
+  uint64_t capacity;
+  uint64_t chunk_bytes;
+};
+
+void PrintTo(const PropertyParam& p, std::ostream* os) {
+  *os << CacheKindName(p.kind) << "_alpha" << p.alpha << "_cap" << p.capacity << "_chunk"
+      << p.chunk_bytes;
+}
+
+class CacheProperty : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  CacheConfig Config() const {
+    CacheConfig config;
+    config.chunk_bytes = GetParam().chunk_bytes;
+    config.disk_capacity_chunks = GetParam().capacity;
+    config.alpha_f2r = GetParam().alpha;
+    return config;
+  }
+};
+
+TEST_P(CacheProperty, OutcomeAccountingIsConsistent) {
+  CacheConfig config = Config();
+  auto cache = MakeCache(GetParam().kind, config);
+  trace::Trace trace = PropertyTrace(config.chunk_bytes, 7);
+  cache->Prepare(trace);
+  for (const auto& request : trace.requests) {
+    RequestOutcome outcome = cache->HandleRequest(request);
+    // Requested chunk math matches the chunk model.
+    ChunkRange range = ToChunkRange(request, config.chunk_bytes);
+    ASSERT_EQ(outcome.requested_chunks, range.count());
+    ASSERT_EQ(outcome.requested_bytes, request.size_bytes());
+    if (outcome.decision == Decision::kServe) {
+      // Hits + fills account for exactly the requested chunks.
+      ASSERT_EQ(outcome.hit_chunks + outcome.filled_chunks, outcome.requested_chunks);
+      // Every requested chunk is present after serving. Exception: Belady MIN
+      // may evict a just-served hit chunk in the same step when it is never
+      // requested again (presence is only required *at* the request, as in
+      // the LP's constraint (10d)) -- so for Belady only the filled chunks
+      // are asserted present.
+      if (GetParam().kind != CacheKind::kBelady) {
+        for (uint32_t c = range.first; c <= range.last; ++c) {
+          ASSERT_TRUE(cache->ContainsChunk(ChunkId{request.video, c}))
+              << "served request must leave all its chunks on disk";
+        }
+      }
+    } else {
+      ASSERT_EQ(outcome.filled_chunks, 0u);
+    }
+    // Capacity is never exceeded.
+    ASSERT_LE(cache->used_chunks(), config.disk_capacity_chunks);
+  }
+}
+
+TEST_P(CacheProperty, DeterministicReplay) {
+  CacheConfig config = Config();
+  trace::Trace trace = PropertyTrace(config.chunk_bytes, 13);
+  auto run = [&]() {
+    auto cache = MakeCache(GetParam().kind, config);
+    sim::ReplayOptions options;
+    options.measurement_start_fraction = 0.0;
+    return sim::Replay(*cache, trace, options);
+  };
+  sim::ReplayResult a = run();
+  sim::ReplayResult b = run();
+  EXPECT_EQ(a.totals.served_requests, b.totals.served_requests);
+  EXPECT_EQ(a.totals.filled_bytes, b.totals.filled_bytes);
+  EXPECT_EQ(a.totals.redirected_bytes, b.totals.redirected_bytes);
+}
+
+TEST_P(CacheProperty, ByteConservation) {
+  CacheConfig config = Config();
+  auto cache = MakeCache(GetParam().kind, config);
+  trace::Trace trace = PropertyTrace(config.chunk_bytes, 29);
+  sim::ReplayOptions options;
+  options.measurement_start_fraction = 0.0;
+  sim::ReplayResult r = sim::Replay(*cache, trace, options);
+  EXPECT_EQ(r.totals.served_bytes + r.totals.redirected_bytes, r.totals.requested_bytes);
+  EXPECT_EQ(r.totals.served_requests + r.totals.redirected_requests, r.totals.requests);
+  // Efficiency within the model's range.
+  EXPECT_GE(r.totals.Efficiency(cache->cost_model()), -1.0);
+  EXPECT_LE(r.totals.Efficiency(cache->cost_model()), 1.0);
+}
+
+TEST_P(CacheProperty, EvictionsOnlyWhenFull) {
+  CacheConfig config = Config();
+  auto cache = MakeCache(GetParam().kind, config);
+  trace::Trace trace = PropertyTrace(config.chunk_bytes, 31);
+  cache->Prepare(trace);
+  for (const auto& request : trace.requests) {
+    uint64_t used_before = cache->used_chunks();
+    RequestOutcome outcome = cache->HandleRequest(request);
+    if (outcome.evicted_chunks > 0) {
+      // Evictions imply the fill would not have fit.
+      ASSERT_GT(used_before + outcome.filled_chunks, config.disk_capacity_chunks)
+          << "evicted without capacity pressure";
+    }
+  }
+}
+
+std::vector<PropertyParam> AllParams() {
+  std::vector<PropertyParam> params;
+  for (CacheKind kind : {CacheKind::kXlru, CacheKind::kCafe, CacheKind::kPsychic,
+                         CacheKind::kFillLru, CacheKind::kFillLfu, CacheKind::kBelady}) {
+    for (double alpha : {0.5, 1.0, 2.0, 4.0}) {
+      params.push_back(PropertyParam{kind, alpha, 64, 1024});
+    }
+    // Capacity and chunk-size variations at the paper's default alpha = 2.
+    params.push_back(PropertyParam{kind, 2.0, 16, 1024});
+    params.push_back(PropertyParam{kind, 2.0, 512, 1024});
+    params.push_back(PropertyParam{kind, 2.0, 64, 4096});
+  }
+  return params;
+}
+
+std::string ParamName(const ::testing::TestParamInfo<PropertyParam>& info) {
+  std::string name = std::string(CacheKindName(info.param.kind));
+  name += "_a" + std::to_string(static_cast<int>(info.param.alpha * 10));
+  name += "_c" + std::to_string(info.param.capacity);
+  name += "_k" + std::to_string(info.param.chunk_bytes);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCaches, CacheProperty, ::testing::ValuesIn(AllParams()), ParamName);
+
+}  // namespace
+}  // namespace vcdn::core

@@ -1,0 +1,139 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// End-to-end integration tests: generate a synthetic server trace, replay it
+// through every algorithm and check the qualitative relationships the paper
+// reports (Sec. 9). These run on a scaled-down workload to stay fast.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/cache_factory.h"
+#include "src/sim/replay.h"
+#include "src/trace/server_profile.h"
+#include "src/trace/workload_generator.h"
+
+namespace vcdn {
+namespace {
+
+trace::Trace TestTrace(uint64_t seed = 11) {
+  trace::WorkloadConfig config;
+  config.profile = trace::EuropeProfile(0.04);
+  config.profile.base_request_rate = 0.12;
+  config.duration_seconds = 8.0 * 86400.0;
+  config.seed = seed;
+  return trace::WorkloadGenerator(config).Generate().trace;
+}
+
+core::CacheConfig TestConfig(double alpha) {
+  core::CacheConfig config;
+  config.chunk_bytes = 2ull << 20;
+  config.disk_capacity_chunks = 1400;
+  config.alpha_f2r = alpha;
+  return config;
+}
+
+sim::ReplayResult RunCache(core::CacheKind kind, const trace::Trace& trace, double alpha) {
+  auto cache = core::MakeCache(kind, TestConfig(alpha));
+  return sim::Replay(*cache, trace);
+}
+
+TEST(IntegrationTest, AllCachesConserveBytes) {
+  trace::Trace trace = TestTrace();
+  for (auto kind : {core::CacheKind::kXlru, core::CacheKind::kCafe, core::CacheKind::kPsychic,
+                    core::CacheKind::kFillLru, core::CacheKind::kBelady}) {
+    sim::ReplayResult r = RunCache(kind, trace, 2.0);
+    EXPECT_EQ(r.totals.served_bytes + r.totals.redirected_bytes, r.totals.requested_bytes)
+        << r.cache_name;
+    EXPECT_EQ(r.totals.served_requests + r.totals.redirected_requests, r.totals.requests)
+        << r.cache_name;
+  }
+}
+
+TEST(IntegrationTest, CafeBeatsXlruUnderConstrainedIngress) {
+  // The paper's headline (Fig. 4): at alpha_F2R = 2 Cafe achieves a clearly
+  // higher efficiency than xLRU.
+  trace::Trace trace = TestTrace();
+  sim::ReplayResult xlru = RunCache(core::CacheKind::kXlru, trace, 2.0);
+  sim::ReplayResult cafe = RunCache(core::CacheKind::kCafe, trace, 2.0);
+  EXPECT_GT(cafe.efficiency, xlru.efficiency + 0.02)
+      << "xLRU=" << xlru.efficiency << " Cafe=" << cafe.efficiency;
+}
+
+TEST(IntegrationTest, PsychicUpperBoundsOnlineCaches) {
+  trace::Trace trace = TestTrace();
+  for (double alpha : {1.0, 2.0}) {
+    sim::ReplayResult psychic = RunCache(core::CacheKind::kPsychic, trace, alpha);
+    sim::ReplayResult cafe = RunCache(core::CacheKind::kCafe, trace, alpha);
+    sim::ReplayResult xlru = RunCache(core::CacheKind::kXlru, trace, alpha);
+    EXPECT_GE(psychic.efficiency, cafe.efficiency - 0.01) << "alpha=" << alpha;
+    EXPECT_GE(psychic.efficiency, xlru.efficiency - 0.01) << "alpha=" << alpha;
+  }
+}
+
+TEST(IntegrationTest, CafeCompliesWithAlphaOperatingPoints) {
+  // Fig. 5: raising alpha must shrink Cafe's ingress fraction monotonically,
+  // and its ingress at alpha = 4 must be well below xLRU's.
+  trace::Trace trace = TestTrace();
+  double prev_ingress = 1e9;
+  for (double alpha : {0.5, 1.0, 2.0, 4.0}) {
+    sim::ReplayResult cafe = RunCache(core::CacheKind::kCafe, trace, alpha);
+    EXPECT_LE(cafe.ingress_fraction, prev_ingress + 0.01) << "alpha=" << alpha;
+    prev_ingress = cafe.ingress_fraction;
+  }
+  sim::ReplayResult cafe4 = RunCache(core::CacheKind::kCafe, trace, 4.0);
+  sim::ReplayResult xlru4 = RunCache(core::CacheKind::kXlru, trace, 4.0);
+  EXPECT_LT(cafe4.ingress_fraction, xlru4.ingress_fraction);
+}
+
+TEST(IntegrationTest, FillLruHasHighestIngress) {
+  trace::Trace trace = TestTrace();
+  sim::ReplayResult fill_lru = RunCache(core::CacheKind::kFillLru, trace, 2.0);
+  sim::ReplayResult xlru = RunCache(core::CacheKind::kXlru, trace, 2.0);
+  sim::ReplayResult cafe = RunCache(core::CacheKind::kCafe, trace, 2.0);
+  EXPECT_GT(fill_lru.ingress_fraction, xlru.ingress_fraction);
+  EXPECT_GT(fill_lru.ingress_fraction, cafe.ingress_fraction);
+  // And it never redirects.
+  EXPECT_EQ(fill_lru.totals.redirected_requests, 0u);
+}
+
+TEST(IntegrationTest, MoreDiskMeansMoreEfficiency) {
+  // Fig. 6 trend for every algorithm.
+  trace::Trace trace = TestTrace();
+  for (auto kind : {core::CacheKind::kXlru, core::CacheKind::kCafe, core::CacheKind::kPsychic}) {
+    double small_disk;
+    double big_disk;
+    {
+      core::CacheConfig config = TestConfig(2.0);
+      config.disk_capacity_chunks = 500;
+      auto cache = core::MakeCache(kind, config);
+      small_disk = sim::Replay(*cache, trace).efficiency;
+    }
+    {
+      core::CacheConfig config = TestConfig(2.0);
+      config.disk_capacity_chunks = 4000;
+      auto cache = core::MakeCache(kind, config);
+      big_disk = sim::Replay(*cache, trace).efficiency;
+    }
+    EXPECT_GT(big_disk, small_disk) << core::CacheKindName(kind);
+  }
+}
+
+TEST(IntegrationTest, DiurnalPatternVisibleInSeries) {
+  // Fig. 3: hourly ingress varies over the day for every cache.
+  trace::Trace trace = TestTrace();
+  sim::ReplayResult cafe = RunCache(core::CacheKind::kCafe, trace, 2.0);
+  ASSERT_GT(cafe.series.size(), 48u);
+  // Compare busiest and quietest hour of the second day.
+  uint64_t min_requested = UINT64_MAX;
+  uint64_t max_requested = 0;
+  for (size_t i = 24; i < 48; ++i) {
+    min_requested = std::min(min_requested, cafe.series[i].requested_bytes);
+    max_requested = std::max(max_requested, cafe.series[i].requested_bytes);
+  }
+  EXPECT_GT(max_requested, min_requested + min_requested / 2)
+      << "diurnal variation should be pronounced";
+}
+
+}  // namespace
+}  // namespace vcdn

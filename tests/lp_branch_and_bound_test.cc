@@ -1,0 +1,153 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/lp/branch_and_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace vcdn::lp {
+namespace {
+
+TEST(BranchAndBoundTest, IntegralLpNeedsNoBranching) {
+  // min -x - y, x + y <= 1, binaries: optimum picks one of them.
+  Model m;
+  int32_t x = m.AddVariable(0.0, 1.0, -1.0);
+  int32_t y = m.AddVariable(0.0, 1.0, -1.0);
+  int32_t r = m.AddRow(-kLpInfinity, 1.0);
+  m.AddCoefficient(r, x, 1.0);
+  m.AddCoefficient(r, y, 1.0);
+  MipSolution s = SolveMip(m, {x, y});
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -1.0, 1e-6);
+  EXPECT_NEAR(s.primal[static_cast<size_t>(x)] + s.primal[static_cast<size_t>(y)], 1.0, 1e-6);
+}
+
+TEST(BranchAndBoundTest, KnapsackExactOptimum) {
+  // max 10a + 6b + 4c st 5a + 4b + 3c <= 8, binary.
+  // LP relaxation is fractional; integral optimum = {a, c} = 14.
+  Model m;
+  int32_t a = m.AddVariable(0.0, 1.0, -10.0);
+  int32_t b = m.AddVariable(0.0, 1.0, -6.0);
+  int32_t c = m.AddVariable(0.0, 1.0, -4.0);
+  int32_t r = m.AddRow(-kLpInfinity, 8.0);
+  m.AddCoefficient(r, a, 5.0);
+  m.AddCoefficient(r, b, 4.0);
+  m.AddCoefficient(r, c, 3.0);
+  MipSolution s = SolveMip(m, {a, b, c});
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -14.0, 1e-6);
+  EXPECT_NEAR(s.primal[static_cast<size_t>(a)], 1.0, 1e-6);
+  EXPECT_NEAR(s.primal[static_cast<size_t>(b)], 0.0, 1e-6);
+  EXPECT_NEAR(s.primal[static_cast<size_t>(c)], 1.0, 1e-6);
+  // The LP root must be at least as good (smaller or equal minimized value).
+  EXPECT_LE(s.root_relaxation, s.objective + 1e-9);
+  EXPECT_GT(s.nodes_explored, 1);
+}
+
+TEST(BranchAndBoundTest, InfeasibleIntegral) {
+  // 0.4 <= x <= 0.6 has no integer point.
+  Model m;
+  int32_t x = m.AddVariable(0.0, 1.0, 1.0);
+  int32_t r = m.AddRow(0.4, 0.6);
+  m.AddCoefficient(r, x, 1.0);
+  MipSolution s = SolveMip(m, {x});
+  EXPECT_EQ(s.status, SolveStatus::kInfeasible);
+}
+
+TEST(BranchAndBoundTest, MixedIntegerProblem) {
+  // x binary, y continuous: min -2x - y st x + y <= 1.5, y <= 1.
+  // Optimum: x = 1, y = 0.5 -> -2.5.
+  Model m;
+  int32_t x = m.AddVariable(0.0, 1.0, -2.0);
+  int32_t y = m.AddVariable(0.0, 1.0, -1.0);
+  int32_t r = m.AddRow(-kLpInfinity, 1.5);
+  m.AddCoefficient(r, x, 1.0);
+  m.AddCoefficient(r, y, 1.0);
+  MipSolution s = SolveMip(m, {x});
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -2.5, 1e-6);
+  EXPECT_NEAR(s.primal[static_cast<size_t>(x)], 1.0, 1e-9);
+  EXPECT_NEAR(s.primal[static_cast<size_t>(y)], 0.5, 1e-6);
+}
+
+TEST(BranchAndBoundTest, NodeBudgetReturnsIterationLimit) {
+  // A problem that needs branching with max_nodes = 1.
+  Model m;
+  int32_t a = m.AddVariable(0.0, 1.0, -10.0);
+  int32_t b = m.AddVariable(0.0, 1.0, -6.0);
+  int32_t r = m.AddRow(-kLpInfinity, 8.0);
+  m.AddCoefficient(r, a, 5.0);
+  m.AddCoefficient(r, b, 4.0);
+  BranchAndBoundOptions options;
+  options.max_nodes = 1;
+  MipSolution s = SolveMip(m, {a, b}, options);
+  EXPECT_EQ(s.status, SolveStatus::kIterationLimit);
+}
+
+// Property: on random small binary covering problems, B&B matches exhaustive
+// enumeration.
+TEST(BranchAndBoundTest, PropertyMatchesExhaustiveEnumeration) {
+  util::Pcg32 rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    constexpr int kVars = 8;
+    Model m;
+    std::vector<double> costs(kVars);
+    for (int j = 0; j < kVars; ++j) {
+      costs[static_cast<size_t>(j)] = 1.0 + rng.NextDouble() * 9.0;
+      m.AddVariable(0.0, 1.0, costs[static_cast<size_t>(j)]);
+    }
+    int rows = 3 + static_cast<int>(rng.NextBounded(4));
+    std::vector<std::vector<int>> cover_sets;
+    for (int r = 0; r < rows; ++r) {
+      int32_t row = m.AddRow(1.0, kLpInfinity);
+      std::vector<int> members;
+      for (int k = 0; k < 3; ++k) {
+        int j = static_cast<int>(rng.NextBounded(kVars));
+        m.AddCoefficient(row, j, 1.0);
+        members.push_back(j);
+      }
+      cover_sets.push_back(members);
+    }
+    std::vector<int32_t> integers;
+    for (int j = 0; j < kVars; ++j) {
+      integers.push_back(j);
+    }
+    MipSolution mip = SolveMip(m, integers);
+
+    // Exhaustive reference over 2^8 assignments.
+    double best = std::numeric_limits<double>::infinity();
+    for (uint32_t mask = 0; mask < (1u << kVars); ++mask) {
+      bool feasible = true;
+      for (const auto& members : cover_sets) {
+        int covered = 0;
+        for (int j : members) {
+          if (mask & (1u << j)) {
+            ++covered;
+          }
+        }
+        if (covered < 1) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) {
+        continue;
+      }
+      double cost = 0.0;
+      for (int j = 0; j < kVars; ++j) {
+        if (mask & (1u << j)) {
+          cost += costs[static_cast<size_t>(j)];
+        }
+      }
+      best = std::min(best, cost);
+    }
+    ASSERT_EQ(mip.status, SolveStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(mip.objective, best, 1e-6) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace vcdn::lp

@@ -1,0 +1,72 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/lp/model.h"
+
+#include <gtest/gtest.h>
+
+namespace vcdn::lp {
+namespace {
+
+TEST(ModelTest, BuildsDimensions) {
+  Model m;
+  int32_t x = m.AddVariable(0.0, 1.0, 2.0);
+  int32_t y = m.AddVariable(0.0, kLpInfinity, -1.0);
+  int32_t r = m.AddRow(-kLpInfinity, 5.0);
+  m.AddCoefficient(r, x, 1.0);
+  m.AddCoefficient(r, y, 2.0);
+  EXPECT_EQ(m.num_columns(), 2);
+  EXPECT_EQ(m.num_rows(), 1);
+  EXPECT_EQ(m.num_entries(), 2u);
+}
+
+TEST(ModelTest, CompileProducesColumnMajorCsc) {
+  Model m;
+  int32_t x0 = m.AddVariable(0, 1, 1.0);
+  int32_t x1 = m.AddVariable(0, 1, 2.0);
+  int32_t r0 = m.AddRow(0, 10);
+  int32_t r1 = m.AddRow(0, 20);
+  m.AddCoefficient(r1, x1, 4.0);
+  m.AddCoefficient(r0, x0, 1.0);
+  m.AddCoefficient(r1, x0, 2.0);
+  m.AddCoefficient(r0, x1, 3.0);
+  CompiledModel c = m.Compile();
+  ASSERT_EQ(c.column_start.size(), 3u);
+  EXPECT_EQ(c.column_start[0], 0);
+  EXPECT_EQ(c.column_start[1], 2);
+  EXPECT_EQ(c.column_start[2], 4);
+  // Column 0: rows 0 (1.0) and 1 (2.0), sorted by row.
+  EXPECT_EQ(c.row_index[0], 0);
+  EXPECT_DOUBLE_EQ(c.value[0], 1.0);
+  EXPECT_EQ(c.row_index[1], 1);
+  EXPECT_DOUBLE_EQ(c.value[1], 2.0);
+  // Column 1: rows 0 (3.0) and 1 (4.0).
+  EXPECT_EQ(c.row_index[2], 0);
+  EXPECT_DOUBLE_EQ(c.value[2], 3.0);
+}
+
+TEST(ModelTest, DuplicateEntriesAreSummed) {
+  Model m;
+  int32_t x = m.AddVariable(0, 1, 0.0);
+  int32_t r = m.AddRow(0, 1);
+  m.AddCoefficient(r, x, 1.5);
+  m.AddCoefficient(r, x, 2.5);
+  CompiledModel c = m.Compile();
+  ASSERT_EQ(c.value.size(), 1u);
+  EXPECT_DOUBLE_EQ(c.value[0], 4.0);
+}
+
+TEST(ModelTest, ZeroCoefficientsDropped) {
+  Model m;
+  int32_t x = m.AddVariable(0, 1, 0.0);
+  int32_t r = m.AddRow(0, 1);
+  m.AddCoefficient(r, x, 0.0);
+  EXPECT_EQ(m.num_entries(), 0u);
+  // Entries cancelling to zero also vanish at compile time.
+  m.AddCoefficient(r, x, 1.0);
+  m.AddCoefficient(r, x, -1.0);
+  CompiledModel c = m.Compile();
+  EXPECT_TRUE(c.value.empty());
+}
+
+}  // namespace
+}  // namespace vcdn::lp

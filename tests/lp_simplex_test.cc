@@ -1,0 +1,322 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace vcdn::lp {
+namespace {
+
+TEST(SimplexTest, TrivialBoundsOnlyProblem) {
+  // min 2x - 3y, x in [0, 4], y in [1, 5]; no rows -> x = 0, y = 5.
+  Model m;
+  m.AddVariable(0.0, 4.0, 2.0);
+  m.AddVariable(1.0, 5.0, -3.0);
+  Solution s = SolveModel(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -15.0, 1e-9);
+}
+
+TEST(SimplexTest, ClassicTwoVariableLp) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+  // Optimum (2, 6), objective 36 (classic Dantzig example).
+  Model m;
+  int32_t x = m.AddVariable(0.0, kLpInfinity, -3.0);  // minimize -obj
+  int32_t y = m.AddVariable(0.0, kLpInfinity, -5.0);
+  int32_t r1 = m.AddRow(-kLpInfinity, 4.0);
+  m.AddCoefficient(r1, x, 1.0);
+  int32_t r2 = m.AddRow(-kLpInfinity, 12.0);
+  m.AddCoefficient(r2, y, 2.0);
+  int32_t r3 = m.AddRow(-kLpInfinity, 18.0);
+  m.AddCoefficient(r3, x, 3.0);
+  m.AddCoefficient(r3, y, 2.0);
+  Solution s = SolveModel(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -36.0, 1e-7);
+  EXPECT_NEAR(s.primal[static_cast<size_t>(x)], 2.0, 1e-7);
+  EXPECT_NEAR(s.primal[static_cast<size_t>(y)], 6.0, 1e-7);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min x + 2y s.t. x + y == 10, x in [0, 4], y in [0, 20] -> x=4, y=6.
+  Model m;
+  int32_t x = m.AddVariable(0.0, 4.0, 1.0);
+  int32_t y = m.AddVariable(0.0, 20.0, 2.0);
+  int32_t r = m.AddRow(10.0, 10.0);
+  m.AddCoefficient(r, x, 1.0);
+  m.AddCoefficient(r, y, 1.0);
+  Solution s = SolveModel(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0 + 12.0, 1e-7);
+  EXPECT_NEAR(s.primal[static_cast<size_t>(x)], 4.0, 1e-7);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x <= 1 and x >= 3 simultaneously.
+  Model m;
+  int32_t x = m.AddVariable(0.0, 10.0, 1.0);
+  int32_t r1 = m.AddRow(-kLpInfinity, 1.0);
+  m.AddCoefficient(r1, x, 1.0);
+  int32_t r2 = m.AddRow(3.0, kLpInfinity);
+  m.AddCoefficient(r2, x, 1.0);
+  Solution s = SolveModel(m);
+  EXPECT_EQ(s.status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  // min -x, x >= 0 unbounded above, single non-binding row.
+  Model m;
+  int32_t x = m.AddVariable(0.0, kLpInfinity, -1.0);
+  int32_t y = m.AddVariable(0.0, 1.0, 0.0);
+  int32_t r = m.AddRow(-kLpInfinity, 5.0);
+  m.AddCoefficient(r, y, 1.0);
+  (void)x;
+  Solution s = SolveModel(m);
+  EXPECT_EQ(s.status, SolveStatus::kUnbounded);
+}
+
+TEST(SimplexTest, RangeRowBothSidesActive) {
+  // 2 <= x + y <= 3, minimize x + 3y with x <= 1 -> x=1, y=1, obj=4.
+  Model m;
+  int32_t x = m.AddVariable(0.0, 1.0, 1.0);
+  int32_t y = m.AddVariable(0.0, kLpInfinity, 3.0);
+  int32_t r = m.AddRow(2.0, 3.0);
+  m.AddCoefficient(r, x, 1.0);
+  m.AddCoefficient(r, y, 1.0);
+  Solution s = SolveModel(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-7);
+}
+
+TEST(SimplexTest, NegativeLowerBounds) {
+  // min x + y s.t. x + y >= -3, x,y in [-5, 5] -> objective -3 (row binds).
+  Model m;
+  int32_t x = m.AddVariable(-5.0, 5.0, 1.0);
+  int32_t y = m.AddVariable(-5.0, 5.0, 1.0);
+  int32_t r = m.AddRow(-3.0, kLpInfinity);
+  m.AddCoefficient(r, x, 1.0);
+  m.AddCoefficient(r, y, 1.0);
+  Solution s = SolveModel(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -3.0, 1e-7);
+}
+
+TEST(SimplexTest, DegenerateVertexStillSolves) {
+  // Multiple redundant constraints through the optimum.
+  Model m;
+  int32_t x = m.AddVariable(0.0, kLpInfinity, -1.0);
+  int32_t y = m.AddVariable(0.0, kLpInfinity, -1.0);
+  for (int i = 0; i < 5; ++i) {
+    int32_t r = m.AddRow(-kLpInfinity, 10.0);
+    m.AddCoefficient(r, x, 1.0);
+    m.AddCoefficient(r, y, 1.0);
+  }
+  int32_t r = m.AddRow(-kLpInfinity, 10.0);
+  m.AddCoefficient(r, x, 2.0);
+  m.AddCoefficient(r, y, 1.0);
+  Solution s = SolveModel(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -10.0, 1e-7);
+}
+
+// Brute-force LP reference for tiny problems: evaluate all basic solutions of
+// the row-intersection structure by sampling a fine grid over the (bounded)
+// box and keeping feasible points. Coarse but sufficient as a sanity oracle
+// for 2-variable problems.
+double GridReference(const Model& m, const CompiledModel& c, double lo, double hi, int steps) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i <= steps; ++i) {
+    for (int j = 0; j <= steps; ++j) {
+      double x = lo + (hi - lo) * i / steps;
+      double y = lo + (hi - lo) * j / steps;
+      if (x < c.column_lower[0] || x > c.column_upper[0] || y < c.column_lower[1] ||
+          y > c.column_upper[1]) {
+        continue;
+      }
+      bool feasible = true;
+      for (int32_t r = 0; r < c.num_rows && feasible; ++r) {
+        double activity = 0.0;
+        // Dense evaluation over the two columns.
+        for (int32_t col = 0; col < 2; ++col) {
+          double v = col == 0 ? x : y;
+          for (auto k = static_cast<size_t>(c.column_start[static_cast<size_t>(col)]);
+               k < static_cast<size_t>(c.column_start[static_cast<size_t>(col) + 1]); ++k) {
+            if (c.row_index[k] == r) {
+              activity += c.value[k] * v;
+            }
+          }
+        }
+        feasible = activity >= c.row_lower[static_cast<size_t>(r)] - 1e-9 &&
+                   activity <= c.row_upper[static_cast<size_t>(r)] + 1e-9;
+      }
+      if (feasible) {
+        best = std::min(best, c.objective[0] * x + c.objective[1] * y);
+      }
+    }
+  }
+  (void)m;
+  return best;
+}
+
+TEST(SimplexTest, PropertyRandomTwoVariableLpsMatchGridOracle) {
+  util::Pcg32 rng(13);
+  int solved = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    Model m;
+    m.AddVariable(0.0, 10.0, rng.NextDouble() * 4.0 - 2.0);
+    m.AddVariable(0.0, 10.0, rng.NextDouble() * 4.0 - 2.0);
+    int rows = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int r = 0; r < rows; ++r) {
+      // a*x + b*y <= c with a,b in [-1, 2], c in [1, 12].
+      int32_t row = m.AddRow(-kLpInfinity, 1.0 + rng.NextDouble() * 11.0);
+      m.AddCoefficient(row, 0, rng.NextDouble() * 3.0 - 1.0);
+      m.AddCoefficient(row, 1, rng.NextDouble() * 3.0 - 1.0);
+    }
+    CompiledModel c = m.Compile();
+    Solution s = SolveModel(m);
+    if (s.status != SolveStatus::kOptimal) {
+      continue;  // grid oracle cannot confirm unbounded/infeasible cases
+    }
+    ++solved;
+    double reference = GridReference(m, c, 0.0, 10.0, 200);
+    ASSERT_TRUE(std::isfinite(reference));
+    // Simplex must be at least as good as the grid (grid is feasible-only),
+    // and not better than the grid by more than the grid resolution allows.
+    EXPECT_LE(s.objective, reference + 1e-6) << "trial " << trial;
+    EXPECT_GE(s.objective, reference - 0.2) << "trial " << trial;
+  }
+  EXPECT_GT(solved, 20);
+}
+
+TEST(SimplexTest, MediumRandomSparseProblemSolves) {
+  // A larger random feasible LP: min sum x_i s.t. random cover rows >= 1.
+  util::Pcg32 rng(99);
+  Model m;
+  constexpr int kVars = 200;
+  constexpr int kRows = 120;
+  for (int j = 0; j < kVars; ++j) {
+    m.AddVariable(0.0, 1.0, 0.5 + rng.NextDouble());
+  }
+  for (int r = 0; r < kRows; ++r) {
+    int32_t row = m.AddRow(1.0, kLpInfinity);
+    for (int k = 0; k < 5; ++k) {
+      m.AddCoefficient(row, static_cast<int32_t>(rng.NextBounded(kVars)), 1.0);
+    }
+  }
+  Solution s = SolveModel(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_GT(s.objective, 0.0);
+  // All rows must be satisfied at the solution.
+  for (size_t r = 0; r < static_cast<size_t>(kRows); ++r) {
+    EXPECT_GE(s.row_activity[r], 1.0 - 1e-6);
+  }
+}
+
+TEST(SimplexTest, FreeVariableSolves) {
+  // min x^+ ... a free variable pinned only by an equality row:
+  // x free, x + y == 3, y in [0, 1], min 2x + y -> y = 1, x = 2.
+  Model m;
+  int32_t x = m.AddVariable(-kLpInfinity, kLpInfinity, 2.0);
+  int32_t y = m.AddVariable(0.0, 1.0, 1.0);
+  int32_t r = m.AddRow(3.0, 3.0);
+  m.AddCoefficient(r, x, 1.0);
+  m.AddCoefficient(r, y, 1.0);
+  Solution s = SolveModel(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-7);
+  EXPECT_NEAR(s.primal[static_cast<size_t>(x)], 2.0, 1e-7);
+}
+
+TEST(SimplexTest, FreeVariableCanGoNegative) {
+  // x free, x + y == -2, y in [0, 4], min x + 0.5y -> minimize x means
+  // maximize y: y = 4, x = -6.
+  Model m;
+  int32_t x = m.AddVariable(-kLpInfinity, kLpInfinity, 1.0);
+  int32_t y = m.AddVariable(0.0, 4.0, 0.5);
+  int32_t r = m.AddRow(-2.0, -2.0);
+  m.AddCoefficient(r, x, 1.0);
+  m.AddCoefficient(r, y, 1.0);
+  Solution s = SolveModel(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.primal[static_cast<size_t>(x)], -6.0, 1e-7);
+  EXPECT_NEAR(s.objective, -4.0, 1e-7);
+}
+
+TEST(SimplexTest, PhaseOneFromInfeasibleEqualities) {
+  // A chain of equalities that the all-at-lower start violates badly:
+  // x1 + x2 == 10, x2 + x3 == 8, x3 + x1 == 6 -> (4, 6, 2); min sum = 12.
+  Model m;
+  int32_t x1 = m.AddVariable(0.0, 100.0, 1.0);
+  int32_t x2 = m.AddVariable(0.0, 100.0, 1.0);
+  int32_t x3 = m.AddVariable(0.0, 100.0, 1.0);
+  int32_t r1 = m.AddRow(10.0, 10.0);
+  m.AddCoefficient(r1, x1, 1.0);
+  m.AddCoefficient(r1, x2, 1.0);
+  int32_t r2 = m.AddRow(8.0, 8.0);
+  m.AddCoefficient(r2, x2, 1.0);
+  m.AddCoefficient(r2, x3, 1.0);
+  int32_t r3 = m.AddRow(6.0, 6.0);
+  m.AddCoefficient(r3, x3, 1.0);
+  m.AddCoefficient(r3, x1, 1.0);
+  Solution s = SolveModel(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.primal[static_cast<size_t>(x1)], 4.0, 1e-6);
+  EXPECT_NEAR(s.primal[static_cast<size_t>(x2)], 6.0, 1e-6);
+  EXPECT_NEAR(s.primal[static_cast<size_t>(x3)], 2.0, 1e-6);
+}
+
+TEST(SimplexTest, FrequentResidualChecksDoNotChangeResult) {
+  // Exercise the refactorization path by checking residuals every iteration.
+  SimplexOptions options;
+  options.residual_check_interval = 1;
+  util::Pcg32 rng(55);
+  Model m;
+  constexpr int kVars = 60;
+  for (int j = 0; j < kVars; ++j) {
+    m.AddVariable(0.0, 1.0, 0.5 + rng.NextDouble());
+  }
+  for (int r = 0; r < 40; ++r) {
+    int32_t row = m.AddRow(1.0, kLpInfinity);
+    for (int k = 0; k < 4; ++k) {
+      m.AddCoefficient(row, static_cast<int32_t>(rng.NextBounded(kVars)), 1.0);
+    }
+  }
+  Solution fast = SolveModel(m);
+  Solution checked = SolveModel(m, options);
+  ASSERT_EQ(fast.status, SolveStatus::kOptimal);
+  ASSERT_EQ(checked.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(fast.objective, checked.objective, 1e-6);
+}
+
+TEST(SimplexTest, IterationLimitReported) {
+  SimplexOptions options;
+  options.max_iterations = 2;
+  Model m;
+  // Needs more than 2 iterations to finish.
+  for (int j = 0; j < 10; ++j) {
+    m.AddVariable(0.0, kLpInfinity, -1.0);
+  }
+  for (int r = 0; r < 10; ++r) {
+    int32_t row = m.AddRow(-kLpInfinity, 5.0);
+    m.AddCoefficient(row, r, 1.0);
+    m.AddCoefficient(row, (r + 1) % 10, 1.0);
+  }
+  Solution s = SolveModel(m, options);
+  EXPECT_EQ(s.status, SolveStatus::kIterationLimit);
+  EXPECT_EQ(s.iterations, 2);
+}
+
+TEST(SimplexTest, EmptyModelIsOptimalZero) {
+  Model m;
+  Solution s = SolveModel(m);
+  EXPECT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(s.objective, 0.0);
+}
+
+}  // namespace
+}  // namespace vcdn::lp

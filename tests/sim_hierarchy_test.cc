@@ -1,0 +1,101 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/sim/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/trace/server_profile.h"
+#include "src/trace/workload_generator.h"
+#include "tests/cache_test_util.h"
+
+namespace vcdn::sim {
+namespace {
+
+using ::vcdn::testing::ChunkReq;
+using ::vcdn::testing::MakeTrace;
+using ::vcdn::testing::SmallConfig;
+
+HierarchyConfig TestHierarchyConfig() {
+  HierarchyConfig config;
+  config.edge_kind = core::CacheKind::kCafe;
+  config.edge_config = SmallConfig(16, 2.0);
+  config.parent_kind = core::CacheKind::kCafe;
+  config.parent_config = SmallConfig(64, 1.0);
+  config.replay.measurement_start_fraction = 0.0;
+  return config;
+}
+
+TEST(HierarchyTest, ParentSeesOnlyEdgeRedirects) {
+  // Two edges with a fully cacheable hot set: after warmup nothing reaches
+  // the parent except first-seen and admission misses.
+  std::vector<ChunkReq> reqs;
+  for (int i = 0; i < 200; ++i) {
+    reqs.push_back({static_cast<double>(i), static_cast<trace::VideoId>(1 + i % 3), 0, 1});
+  }
+  std::vector<trace::Trace> traces = {MakeTrace(reqs), MakeTrace(reqs)};
+  HierarchyResult result = RunHierarchy(traces, TestHierarchyConfig());
+  ASSERT_EQ(result.edges.size(), 2u);
+  uint64_t edge_redirected = result.edges[0].totals.redirected_requests +
+                             result.edges[1].totals.redirected_requests;
+  EXPECT_EQ(result.parent.totals.requests, edge_redirected);
+}
+
+TEST(HierarchyTest, BytesConserveAcrossTiers) {
+  std::vector<ChunkReq> reqs;
+  for (int i = 0; i < 300; ++i) {
+    reqs.push_back({static_cast<double>(i), static_cast<trace::VideoId>(1 + i % 17), 0,
+                    static_cast<uint32_t>(i % 3)});
+  }
+  std::vector<trace::Trace> traces = {MakeTrace(reqs)};
+  HierarchyResult result = RunHierarchy(traces, TestHierarchyConfig());
+  // Edge-served + parent-served + origin == total demand.
+  EXPECT_EQ(result.edge_served_bytes + result.parent_served_bytes + result.origin_bytes,
+            result.requested_bytes);
+  EXPECT_GE(result.cdn_hit_fraction, result.edge_hit_fraction);
+}
+
+TEST(HierarchyTest, ParentAbsorbsCrossEdgePopularity) {
+  // A video unpopular at each individual edge but requested at all edges:
+  // edges redirect it, the parent sees the aggregate demand and caches it.
+  std::vector<trace::Trace> traces;
+  for (int e = 0; e < 4; ++e) {
+    std::vector<ChunkReq> reqs;
+    for (int i = 0; i < 150; ++i) {
+      // Each edge's hot set keeps its cache busy...
+      reqs.push_back({static_cast<double>(2 * i) + 0.1 * e,
+                      static_cast<trace::VideoId>(100 * (e + 1) + i % 3), 0, 1});
+      // ...while video 7 appears only rarely per edge.
+      if (i % 29 == 0) {
+        reqs.push_back({static_cast<double>(2 * i + 1) + 0.1 * e, 7, 0, 1});
+      }
+    }
+    traces.push_back(MakeTrace(reqs));
+  }
+  HierarchyResult result = RunHierarchy(traces, TestHierarchyConfig());
+  // The parent must have served a decent share of what reached it.
+  EXPECT_GT(result.parent.totals.served_requests, 0u);
+}
+
+TEST(HierarchyTest, DeeperParentAbsorbsMore) {
+  trace::WorkloadConfig workload;
+  workload.profile = trace::EuropeProfile(0.03);
+  workload.profile.base_request_rate = 0.08;
+  workload.duration_seconds = 4.0 * 86400.0;
+  std::vector<trace::Trace> traces = {trace::WorkloadGenerator(workload).Generate().trace};
+
+  HierarchyConfig small = TestHierarchyConfig();
+  small.edge_config.chunk_bytes = 2ull << 20;
+  small.edge_config.disk_capacity_chunks = 600;
+  small.parent_config.chunk_bytes = 2ull << 20;
+  small.parent_config.disk_capacity_chunks = 600;
+  HierarchyConfig deep = small;
+  deep.parent_config.disk_capacity_chunks = 6000;
+
+  HierarchyResult small_result = RunHierarchy(traces, small);
+  HierarchyResult deep_result = RunHierarchy(traces, deep);
+  EXPECT_GT(deep_result.cdn_hit_fraction, small_result.cdn_hit_fraction);
+  EXPECT_LT(deep_result.origin_bytes, small_result.origin_bytes);
+}
+
+}  // namespace
+}  // namespace vcdn::sim

@@ -1,0 +1,109 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/trace/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "src/trace/server_profile.h"
+#include "src/trace/workload_generator.h"
+#include "tests/cache_test_util.h"
+
+namespace vcdn::trace {
+namespace {
+
+using ::vcdn::testing::ChunkReq;
+using ::vcdn::testing::MakeTrace;
+
+Trace GeneratedTrace() {
+  WorkloadConfig config;
+  config.profile = EuropeProfile(0.05);
+  config.profile.base_request_rate = 0.06;
+  config.duration_seconds = 4.0 * 86400.0;
+  config.seed = 5;
+  return WorkloadGenerator(config).Generate().trace;
+}
+
+TEST(AnalysisTest, PopularityCurveSortedAndComplete) {
+  Trace t = MakeTrace({{1, 1, 0, 0}, {2, 1, 0, 0}, {3, 2, 0, 0}, {4, 1, 0, 0}, {5, 3, 0, 0}});
+  std::vector<uint64_t> curve = PopularityCurve(t);
+  EXPECT_EQ(curve, (std::vector<uint64_t>{3, 1, 1}));
+}
+
+TEST(AnalysisTest, HeadConcentrationBounds) {
+  Trace t = GeneratedTrace();
+  double top10 = HeadConcentration(t, 0.1);
+  double top50 = HeadConcentration(t, 0.5);
+  double all = HeadConcentration(t, 1.0);
+  EXPECT_GT(top10, 0.1);  // heavier than uniform
+  EXPECT_GE(top50, top10);
+  EXPECT_NEAR(all, 1.0, 1e-12);
+}
+
+TEST(AnalysisTest, DemandByHourSumsToTotal) {
+  Trace t = GeneratedTrace();
+  std::vector<uint64_t> by_hour = DemandByHourOfDay(t);
+  ASSERT_EQ(by_hour.size(), 24u);
+  uint64_t sum = 0;
+  for (uint64_t v : by_hour) {
+    sum += v;
+  }
+  EXPECT_EQ(sum, t.TotalRequestedBytes());
+}
+
+TEST(AnalysisTest, DiurnalPeakToTroughPronounced) {
+  Trace t = GeneratedTrace();
+  // Amplitude 0.55 should give a clearly > 1.5x swing.
+  EXPECT_GT(DiurnalPeakToTrough(t), 1.5);
+}
+
+TEST(AnalysisTest, ChunkPositionSkewFirstChunkHottest) {
+  Trace t = GeneratedTrace();
+  std::vector<uint64_t> by_position = AccessesByChunkPosition(t, 2ull << 20, 16);
+  ASSERT_EQ(by_position.size(), 16u);
+  EXPECT_GT(by_position[0], by_position[8]);
+  EXPECT_GT(by_position[0], 0u);
+  // Broadly non-increasing trend over the early positions.
+  EXPECT_GE(by_position[1], by_position[10]);
+}
+
+TEST(AnalysisTest, WorkingSetGrowsMonotonically) {
+  Trace t = GeneratedTrace();
+  std::vector<uint64_t> growth = WorkingSetGrowth(t, 2ull << 20, {0.25, 0.5, 0.75, 1.0});
+  ASSERT_EQ(growth.size(), 4u);
+  EXPECT_GT(growth[0], 0u);
+  for (size_t i = 1; i < growth.size(); ++i) {
+    EXPECT_GE(growth[i], growth[i - 1]);
+  }
+  // Churn means the working set keeps growing past the first quarter.
+  EXPECT_GT(growth[3], growth[0]);
+}
+
+TEST(AnalysisTest, BytesForAccessShareDiminishingReturns) {
+  // Footnote 1: each extra percent of hit share costs disproportionally more
+  // disk. The skyline curve must be convex-ish: covering 90% of accesses
+  // needs more than 3x the bytes of covering 50%... at least strictly more
+  // bytes per percent.
+  Trace t = GeneratedTrace();
+  uint64_t half = BytesForAccessShare(t, 2ull << 20, 0.5);
+  uint64_t ninety = BytesForAccessShare(t, 2ull << 20, 0.9);
+  uint64_t full = BytesForAccessShare(t, 2ull << 20, 1.0);
+  EXPECT_GT(half, 0u);
+  EXPECT_GT(ninety, half);
+  EXPECT_GT(full, ninety);
+  // Marginal cost grows: bytes/share steepens toward the tail.
+  double cost_first_half = static_cast<double>(half) / 0.5;
+  double cost_last_tenth = static_cast<double>(full - ninety) / 0.1;
+  EXPECT_GT(cost_last_tenth, cost_first_half);
+}
+
+TEST(AnalysisTest, EmptyTraceIsSafe) {
+  Trace empty;
+  empty.duration = 100.0;
+  EXPECT_TRUE(PopularityCurve(empty).empty());
+  EXPECT_EQ(HeadConcentration(empty, 0.5), 0.0);
+  EXPECT_EQ(DemandByHourOfDay(empty).size(), 24u);
+  EXPECT_EQ(WorkingSetGrowth(empty, 1024, {1.0})[0], 0u);
+}
+
+}  // namespace
+}  // namespace vcdn::trace

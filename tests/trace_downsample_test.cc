@@ -1,0 +1,100 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/trace/downsample.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/trace/workload_generator.h"
+
+namespace vcdn::trace {
+namespace {
+
+GeneratedWorkload SmallWorkload() {
+  WorkloadConfig config;
+  config.profile = EuropeProfile(0.05);
+  config.profile.base_request_rate = 0.08;
+  config.duration_seconds = 4.0 * 86400.0;
+  config.seed = 3;
+  return WorkloadGenerator(config).Generate();
+}
+
+TEST(DownsampleTest, SelectsRequestedNumberOfFiles) {
+  GeneratedWorkload w = SmallWorkload();
+  DownsampleOptions options;
+  options.num_files = 50;
+  DownsampledTrace d = DownsampleForOptimal(w.trace, options);
+  EXPECT_LE(d.selected.size(), 50u);
+  EXPECT_GT(d.selected.size(), 30u);  // uniform picks may collide only rarely
+  std::unordered_set<VideoId> selected(d.selected.begin(), d.selected.end());
+  for (const Request& r : d.trace.requests) {
+    EXPECT_TRUE(selected.count(r.video)) << "request for unselected file";
+  }
+}
+
+TEST(DownsampleTest, CapsByteRanges) {
+  GeneratedWorkload w = SmallWorkload();
+  DownsampleOptions options;
+  options.file_cap_bytes = 20ull << 20;
+  DownsampledTrace d = DownsampleForOptimal(w.trace, options);
+  ASSERT_FALSE(d.trace.requests.empty());
+  for (const Request& r : d.trace.requests) {
+    EXPECT_LT(r.byte_end, options.file_cap_bytes);
+    EXPECT_LE(r.byte_begin, r.byte_end);
+  }
+}
+
+TEST(DownsampleTest, WindowAndRebase) {
+  GeneratedWorkload w = SmallWorkload();
+  DownsampleOptions options;
+  options.window_start = 86400.0;
+  options.window_seconds = 2.0 * 86400.0;
+  DownsampledTrace d = DownsampleForOptimal(w.trace, options);
+  ASSERT_FALSE(d.trace.requests.empty());
+  for (const Request& r : d.trace.requests) {
+    EXPECT_GE(r.arrival_time, 0.0);
+    EXPECT_LT(r.arrival_time, options.window_seconds);
+  }
+  EXPECT_TRUE(d.trace.IsWellFormed());
+}
+
+TEST(DownsampleTest, MaxRequestsTruncates) {
+  GeneratedWorkload w = SmallWorkload();
+  DownsampleOptions options;
+  options.max_requests = 100;
+  DownsampledTrace d = DownsampleForOptimal(w.trace, options);
+  EXPECT_LE(d.trace.requests.size(), 100u);
+}
+
+TEST(DownsampleTest, SelectionCoversHeadAndTail) {
+  GeneratedWorkload w = SmallWorkload();
+  DownsampleOptions options;
+  options.num_files = 20;
+  DownsampledTrace d = DownsampleForOptimal(w.trace, options);
+  // Count hits of each selected file inside the window.
+  std::unordered_map<VideoId, uint64_t> hits;
+  for (const Request& r : w.trace.requests) {
+    if (r.arrival_time < options.window_seconds) {
+      ++hits[r.video];
+    }
+  }
+  ASSERT_GE(d.selected.size(), 2u);
+  // The first selected file is the most-hit one; the last is among the
+  // least-hit (uniform selection over the sorted list).
+  uint64_t first_hits = hits[d.selected.front()];
+  uint64_t last_hits = hits[d.selected.back()];
+  EXPECT_GE(first_hits, last_hits);
+  EXPECT_GT(first_hits, 1u);
+}
+
+TEST(DownsampleTest, EmptyTraceYieldsEmptyResult) {
+  Trace empty;
+  empty.duration = 1000.0;
+  DownsampledTrace d = DownsampleForOptimal(empty, DownsampleOptions{});
+  EXPECT_TRUE(d.trace.requests.empty());
+  EXPECT_TRUE(d.selected.empty());
+}
+
+}  // namespace
+}  // namespace vcdn::trace

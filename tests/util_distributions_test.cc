@@ -1,0 +1,165 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace vcdn::util {
+namespace {
+
+TEST(ExponentialTest, MeanMatches) {
+  Pcg32 rng(1);
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    double v = SampleExponential(rng, 5.0);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kSamples, 5.0, 0.1);
+}
+
+TEST(NormalTest, MeanAndVariance) {
+  Pcg32 rng(2);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    double v = SampleStandardNormal(rng);
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sq / kSamples, 1.0, 0.02);
+}
+
+TEST(LogNormalTest, MedianIsExpMu) {
+  Pcg32 rng(3);
+  std::vector<double> samples;
+  constexpr int kSamples = 50001;
+  samples.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    double v = SampleLogNormal(rng, 2.0, 0.5);
+    ASSERT_GT(v, 0.0);
+    samples.push_back(v);
+  }
+  std::nth_element(samples.begin(), samples.begin() + kSamples / 2, samples.end());
+  EXPECT_NEAR(samples[kSamples / 2], std::exp(2.0), 0.2);
+}
+
+TEST(ParetoTest, SupportAndMedian) {
+  Pcg32 rng(4);
+  std::vector<double> samples;
+  constexpr int kSamples = 50001;
+  for (int i = 0; i < kSamples; ++i) {
+    double v = SamplePareto(rng, 2.0, 1.5);
+    ASSERT_GE(v, 2.0);
+    samples.push_back(v);
+  }
+  std::nth_element(samples.begin(), samples.begin() + kSamples / 2, samples.end());
+  // Median of Pareto(x_m, a) = x_m * 2^(1/a).
+  EXPECT_NEAR(samples[kSamples / 2], 2.0 * std::pow(2.0, 1.0 / 1.5), 0.1);
+}
+
+class ZipfParamTest : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(ZipfParamTest, EmpiricalFrequenciesMatchTheory) {
+  auto [n, s] = GetParam();
+  Pcg32 rng(42);
+  ZipfDistribution zipf(n, s);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(n + 1, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    uint64_t k = zipf.Sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, n);
+    ++counts[k];
+  }
+  // Normalization constant.
+  double h = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    h += 1.0 / std::pow(static_cast<double>(k), s);
+  }
+  // Check the head ranks (tail ranks are individually too rare to test).
+  for (uint64_t k = 1; k <= std::min<uint64_t>(n, 5); ++k) {
+    double expected = 1.0 / std::pow(static_cast<double>(k), s) / h;
+    double observed = static_cast<double>(counts[k]) / kSamples;
+    EXPECT_NEAR(observed, expected, expected * 0.08 + 0.002)
+        << "rank " << k << " n=" << n << " s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ZipfSweep, ZipfParamTest,
+                         ::testing::Values(std::make_tuple(10ull, 0.8),
+                                           std::make_tuple(100ull, 1.0),
+                                           std::make_tuple(1000ull, 1.2),
+                                           std::make_tuple(50ull, 0.5),
+                                           std::make_tuple(5ull, 2.0),
+                                           std::make_tuple(1ull, 1.0)));
+
+TEST(ZipfTest, SingleElementAlwaysRankOne) {
+  Pcg32 rng(9);
+  ZipfDistribution zipf(1, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.Sample(rng), 1u);
+  }
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  Pcg32 rng(5);
+  std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasTable table(weights);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < kSamples; ++i) {
+    size_t idx = table.Sample(rng);
+    ASSERT_LT(idx, weights.size());
+    ++counts[idx];
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    double expected = weights[i] / 10.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kSamples, expected, 0.01);
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  Pcg32 rng(6);
+  AliasTable table({0.0, 1.0, 0.0, 1.0});
+  for (int i = 0; i < 10000; ++i) {
+    size_t idx = table.Sample(rng);
+    EXPECT_TRUE(idx == 1 || idx == 3);
+  }
+}
+
+TEST(AliasTableTest, SingleEntry) {
+  Pcg32 rng(7);
+  AliasTable table({3.5});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(table.Sample(rng), 0u);
+  }
+}
+
+TEST(AliasTableTest, HeavyTailedWeights) {
+  Pcg32 rng(8);
+  std::vector<double> weights(1000, 0.001);
+  weights[0] = 1000.0;
+  AliasTable table(weights);
+  int head = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (table.Sample(rng) == 0) {
+      ++head;
+    }
+  }
+  double expected = 1000.0 / (1000.0 + 0.999);
+  EXPECT_NEAR(static_cast<double>(head) / kSamples, expected, 0.005);
+}
+
+}  // namespace
+}  // namespace vcdn::util

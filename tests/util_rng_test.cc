@@ -1,0 +1,129 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace vcdn::util {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() != b.Next()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Pcg32Test, DeterministicForSeedAndStream) {
+  Pcg32 a(123, 7);
+  Pcg32 b(123, 7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Pcg32Test, StreamsAreIndependent) {
+  Pcg32 a(123, 1);
+  Pcg32 b(123, 2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32Test, NextDoubleInUnitInterval) {
+  Pcg32 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Pcg32Test, NextDoubleMeanIsHalf) {
+  Pcg32 rng(7);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += rng.NextDouble();
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Pcg32Test, NextBoundedStaysInRange) {
+  Pcg32 rng(5);
+  for (uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 1u << 31}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Pcg32Test, NextBoundedIsRoughlyUniform) {
+  Pcg32 rng(11);
+  constexpr uint32_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBounded(kBound)];
+  }
+  for (uint32_t i = 0; i < kBound; ++i) {
+    EXPECT_NEAR(counts[i], kSamples / kBound, kSamples / kBound * 0.1);
+  }
+}
+
+TEST(Pcg32Test, NextBoolEdgeCases) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+    EXPECT_FALSE(rng.NextBool(-0.5));
+    EXPECT_TRUE(rng.NextBool(1.5));
+  }
+}
+
+TEST(Pcg32Test, NextBoolProbability) {
+  Pcg32 rng(17);
+  constexpr int kSamples = 100000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.NextBool(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(Pcg32Test, Next64UsesFullWidth) {
+  Pcg32 rng(23);
+  bool high_bits_seen = false;
+  for (int i = 0; i < 100; ++i) {
+    if (rng.Next64() >> 60) {
+      high_bits_seen = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(high_bits_seen);
+}
+
+}  // namespace
+}  // namespace vcdn::util

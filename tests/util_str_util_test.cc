@@ -1,0 +1,85 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/util/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace vcdn::util {
+namespace {
+
+TEST(HumanBytesTest, Units) {
+  EXPECT_EQ(HumanBytes(0), "0 B");
+  EXPECT_EQ(HumanBytes(17), "17 B");
+  EXPECT_EQ(HumanBytes(1024), "1.0 KiB");
+  EXPECT_EQ(HumanBytes(1536), "1.5 KiB");
+  EXPECT_EQ(HumanBytes(2ull << 20), "2.0 MiB");
+  EXPECT_EQ(HumanBytes(1ull << 40), "1.0 TiB");
+}
+
+TEST(FormatDoubleTest, Decimals) {
+  EXPECT_EQ(FormatDouble(0.73456, 2), "0.73");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-2.5, 1), "-2.5");
+}
+
+TEST(FormatPercentTest, Basic) {
+  EXPECT_EQ(FormatPercent(0.127), "12.7%");
+  EXPECT_EQ(FormatPercent(0.5, 0), "50%");
+  EXPECT_EQ(FormatPercent(1.0, 2), "100.00%");
+}
+
+TEST(SplitStringTest, KeepsEmptyFields) {
+  auto fields = SplitString("a,b,,c", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[3], "c");
+}
+
+TEST(SplitStringTest, EmptyInputYieldsOneField) {
+  auto fields = SplitString("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(ParseTest, Doubles) {
+  double d = 0.0;
+  EXPECT_TRUE(ParseDouble("3.5", &d));
+  EXPECT_DOUBLE_EQ(d, 3.5);
+  EXPECT_TRUE(ParseDouble("-0.25", &d));
+  EXPECT_DOUBLE_EQ(d, -0.25);
+  EXPECT_FALSE(ParseDouble("", &d));
+  EXPECT_FALSE(ParseDouble("abc", &d));
+  EXPECT_FALSE(ParseDouble("1.5x", &d));
+}
+
+TEST(ParseTest, Uint64) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));
+  EXPECT_EQ(v, 18446744073709551615ull);
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("12 ", &v));
+}
+
+TEST(ParseTest, Int64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_FALSE(ParseInt64("4.2", &v));
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "2"});
+  t.AddRow({"long-name", "123"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace vcdn::util
