@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cafe.dir/bench_ablation_cafe.cc.o"
+  "CMakeFiles/bench_ablation_cafe.dir/bench_ablation_cafe.cc.o.d"
+  "bench_ablation_cafe"
+  "bench_ablation_cafe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cafe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

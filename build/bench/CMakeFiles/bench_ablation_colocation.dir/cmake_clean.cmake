@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_colocation.dir/bench_ablation_colocation.cc.o"
+  "CMakeFiles/bench_ablation_colocation.dir/bench_ablation_colocation.cc.o.d"
+  "bench_ablation_colocation"
+  "bench_ablation_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_disk_interference.dir/bench_ablation_disk_interference.cc.o"
+  "CMakeFiles/bench_ablation_disk_interference.dir/bench_ablation_disk_interference.cc.o.d"
+  "bench_ablation_disk_interference"
+  "bench_ablation_disk_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_disk_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

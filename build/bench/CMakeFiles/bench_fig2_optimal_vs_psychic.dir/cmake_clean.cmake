@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_optimal_vs_psychic.dir/bench_fig2_optimal_vs_psychic.cc.o"
+  "CMakeFiles/bench_fig2_optimal_vs_psychic.dir/bench_fig2_optimal_vs_psychic.cc.o.d"
+  "bench_fig2_optimal_vs_psychic"
+  "bench_fig2_optimal_vs_psychic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_optimal_vs_psychic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

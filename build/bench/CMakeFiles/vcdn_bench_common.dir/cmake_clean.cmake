@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcdn_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/vcdn_bench_common.dir/bench_common.cc.o.d"
+  "libvcdn_bench_common.a"
+  "libvcdn_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcdn_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

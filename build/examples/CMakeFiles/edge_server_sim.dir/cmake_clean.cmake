@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_server_sim.dir/edge_server_sim.cpp.o"
+  "CMakeFiles/edge_server_sim.dir/edge_server_sim.cpp.o.d"
+  "edge_server_sim"
+  "edge_server_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_server_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

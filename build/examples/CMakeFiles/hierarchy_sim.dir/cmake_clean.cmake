@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_sim.dir/hierarchy_sim.cpp.o"
+  "CMakeFiles/hierarchy_sim.dir/hierarchy_sim.cpp.o.d"
+  "hierarchy_sim"
+  "hierarchy_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_bound.dir/optimal_bound.cpp.o"
+  "CMakeFiles/optimal_bound.dir/optimal_bound.cpp.o.d"
+  "optimal_bound"
+  "optimal_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

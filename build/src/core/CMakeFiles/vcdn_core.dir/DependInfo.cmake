@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_alpha.cc" "src/core/CMakeFiles/vcdn_core.dir/adaptive_alpha.cc.o" "gcc" "src/core/CMakeFiles/vcdn_core.dir/adaptive_alpha.cc.o.d"
+  "/root/repo/src/core/baseline_caches.cc" "src/core/CMakeFiles/vcdn_core.dir/baseline_caches.cc.o" "gcc" "src/core/CMakeFiles/vcdn_core.dir/baseline_caches.cc.o.d"
+  "/root/repo/src/core/cache_factory.cc" "src/core/CMakeFiles/vcdn_core.dir/cache_factory.cc.o" "gcc" "src/core/CMakeFiles/vcdn_core.dir/cache_factory.cc.o.d"
+  "/root/repo/src/core/cafe_cache.cc" "src/core/CMakeFiles/vcdn_core.dir/cafe_cache.cc.o" "gcc" "src/core/CMakeFiles/vcdn_core.dir/cafe_cache.cc.o.d"
+  "/root/repo/src/core/optimal_cache.cc" "src/core/CMakeFiles/vcdn_core.dir/optimal_cache.cc.o" "gcc" "src/core/CMakeFiles/vcdn_core.dir/optimal_cache.cc.o.d"
+  "/root/repo/src/core/psychic_cache.cc" "src/core/CMakeFiles/vcdn_core.dir/psychic_cache.cc.o" "gcc" "src/core/CMakeFiles/vcdn_core.dir/psychic_cache.cc.o.d"
+  "/root/repo/src/core/xlru_cache.cc" "src/core/CMakeFiles/vcdn_core.dir/xlru_cache.cc.o" "gcc" "src/core/CMakeFiles/vcdn_core.dir/xlru_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lp/CMakeFiles/vcdn_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vcdn_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vcdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

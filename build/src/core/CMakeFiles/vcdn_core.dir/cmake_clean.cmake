@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcdn_core.dir/adaptive_alpha.cc.o"
+  "CMakeFiles/vcdn_core.dir/adaptive_alpha.cc.o.d"
+  "CMakeFiles/vcdn_core.dir/baseline_caches.cc.o"
+  "CMakeFiles/vcdn_core.dir/baseline_caches.cc.o.d"
+  "CMakeFiles/vcdn_core.dir/cache_factory.cc.o"
+  "CMakeFiles/vcdn_core.dir/cache_factory.cc.o.d"
+  "CMakeFiles/vcdn_core.dir/cafe_cache.cc.o"
+  "CMakeFiles/vcdn_core.dir/cafe_cache.cc.o.d"
+  "CMakeFiles/vcdn_core.dir/optimal_cache.cc.o"
+  "CMakeFiles/vcdn_core.dir/optimal_cache.cc.o.d"
+  "CMakeFiles/vcdn_core.dir/psychic_cache.cc.o"
+  "CMakeFiles/vcdn_core.dir/psychic_cache.cc.o.d"
+  "CMakeFiles/vcdn_core.dir/xlru_cache.cc.o"
+  "CMakeFiles/vcdn_core.dir/xlru_cache.cc.o.d"
+  "libvcdn_core.a"
+  "libvcdn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcdn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcdn_lp.dir/branch_and_bound.cc.o"
+  "CMakeFiles/vcdn_lp.dir/branch_and_bound.cc.o.d"
+  "CMakeFiles/vcdn_lp.dir/model.cc.o"
+  "CMakeFiles/vcdn_lp.dir/model.cc.o.d"
+  "CMakeFiles/vcdn_lp.dir/simplex.cc.o"
+  "CMakeFiles/vcdn_lp.dir/simplex.cc.o.d"
+  "libvcdn_lp.a"
+  "libvcdn_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcdn_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

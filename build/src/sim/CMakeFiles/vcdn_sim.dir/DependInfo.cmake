@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/colocation.cc" "src/sim/CMakeFiles/vcdn_sim.dir/colocation.cc.o" "gcc" "src/sim/CMakeFiles/vcdn_sim.dir/colocation.cc.o.d"
+  "/root/repo/src/sim/hierarchy.cc" "src/sim/CMakeFiles/vcdn_sim.dir/hierarchy.cc.o" "gcc" "src/sim/CMakeFiles/vcdn_sim.dir/hierarchy.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/vcdn_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/vcdn_sim.dir/metrics.cc.o.d"
+  "/root/repo/src/sim/replay.cc" "src/sim/CMakeFiles/vcdn_sim.dir/replay.cc.o" "gcc" "src/sim/CMakeFiles/vcdn_sim.dir/replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vcdn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vcdn_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vcdn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/vcdn_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcdn_sim.dir/colocation.cc.o"
+  "CMakeFiles/vcdn_sim.dir/colocation.cc.o.d"
+  "CMakeFiles/vcdn_sim.dir/hierarchy.cc.o"
+  "CMakeFiles/vcdn_sim.dir/hierarchy.cc.o.d"
+  "CMakeFiles/vcdn_sim.dir/metrics.cc.o"
+  "CMakeFiles/vcdn_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/vcdn_sim.dir/replay.cc.o"
+  "CMakeFiles/vcdn_sim.dir/replay.cc.o.d"
+  "libvcdn_sim.a"
+  "libvcdn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcdn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cc" "src/trace/CMakeFiles/vcdn_trace.dir/analysis.cc.o" "gcc" "src/trace/CMakeFiles/vcdn_trace.dir/analysis.cc.o.d"
+  "/root/repo/src/trace/downsample.cc" "src/trace/CMakeFiles/vcdn_trace.dir/downsample.cc.o" "gcc" "src/trace/CMakeFiles/vcdn_trace.dir/downsample.cc.o.d"
+  "/root/repo/src/trace/request.cc" "src/trace/CMakeFiles/vcdn_trace.dir/request.cc.o" "gcc" "src/trace/CMakeFiles/vcdn_trace.dir/request.cc.o.d"
+  "/root/repo/src/trace/server_profile.cc" "src/trace/CMakeFiles/vcdn_trace.dir/server_profile.cc.o" "gcc" "src/trace/CMakeFiles/vcdn_trace.dir/server_profile.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/vcdn_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/vcdn_trace.dir/trace_io.cc.o.d"
+  "/root/repo/src/trace/workload_generator.cc" "src/trace/CMakeFiles/vcdn_trace.dir/workload_generator.cc.o" "gcc" "src/trace/CMakeFiles/vcdn_trace.dir/workload_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vcdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcdn_trace.dir/analysis.cc.o"
+  "CMakeFiles/vcdn_trace.dir/analysis.cc.o.d"
+  "CMakeFiles/vcdn_trace.dir/downsample.cc.o"
+  "CMakeFiles/vcdn_trace.dir/downsample.cc.o.d"
+  "CMakeFiles/vcdn_trace.dir/request.cc.o"
+  "CMakeFiles/vcdn_trace.dir/request.cc.o.d"
+  "CMakeFiles/vcdn_trace.dir/server_profile.cc.o"
+  "CMakeFiles/vcdn_trace.dir/server_profile.cc.o.d"
+  "CMakeFiles/vcdn_trace.dir/trace_io.cc.o"
+  "CMakeFiles/vcdn_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/vcdn_trace.dir/workload_generator.cc.o"
+  "CMakeFiles/vcdn_trace.dir/workload_generator.cc.o.d"
+  "libvcdn_trace.a"
+  "libvcdn_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcdn_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcdn_util.dir/distributions.cc.o"
+  "CMakeFiles/vcdn_util.dir/distributions.cc.o.d"
+  "CMakeFiles/vcdn_util.dir/rng.cc.o"
+  "CMakeFiles/vcdn_util.dir/rng.cc.o.d"
+  "CMakeFiles/vcdn_util.dir/stats.cc.o"
+  "CMakeFiles/vcdn_util.dir/stats.cc.o.d"
+  "CMakeFiles/vcdn_util.dir/status.cc.o"
+  "CMakeFiles/vcdn_util.dir/status.cc.o.d"
+  "CMakeFiles/vcdn_util.dir/str_util.cc.o"
+  "CMakeFiles/vcdn_util.dir/str_util.cc.o.d"
+  "libvcdn_util.a"
+  "libvcdn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcdn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

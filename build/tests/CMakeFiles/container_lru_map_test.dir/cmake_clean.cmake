@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/container_lru_map_test.dir/container_lru_map_test.cc.o"
+  "CMakeFiles/container_lru_map_test.dir/container_lru_map_test.cc.o.d"
+  "container_lru_map_test"
+  "container_lru_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/container_lru_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

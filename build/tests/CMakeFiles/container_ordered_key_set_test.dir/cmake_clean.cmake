@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/container_ordered_key_set_test.dir/container_ordered_key_set_test.cc.o"
+  "CMakeFiles/container_ordered_key_set_test.dir/container_ordered_key_set_test.cc.o.d"
+  "container_ordered_key_set_test"
+  "container_ordered_key_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/container_ordered_key_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cafe_test.dir/core_cafe_test.cc.o"
+  "CMakeFiles/core_cafe_test.dir/core_cafe_test.cc.o.d"
+  "core_cafe_test"
+  "core_cafe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cafe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_chunk_test.dir/core_chunk_test.cc.o"
+  "CMakeFiles/core_chunk_test.dir/core_chunk_test.cc.o.d"
+  "core_chunk_test"
+  "core_chunk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_chunk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

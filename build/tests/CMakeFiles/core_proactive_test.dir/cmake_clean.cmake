@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_proactive_test.dir/core_proactive_test.cc.o"
+  "CMakeFiles/core_proactive_test.dir/core_proactive_test.cc.o.d"
+  "core_proactive_test"
+  "core_proactive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_proactive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_psychic_test.dir/core_psychic_test.cc.o"
+  "CMakeFiles/core_psychic_test.dir/core_psychic_test.cc.o.d"
+  "core_psychic_test"
+  "core_psychic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_psychic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_xlru_test.dir/core_xlru_test.cc.o"
+  "CMakeFiles/core_xlru_test.dir/core_xlru_test.cc.o.d"
+  "core_xlru_test"
+  "core_xlru_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_xlru_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

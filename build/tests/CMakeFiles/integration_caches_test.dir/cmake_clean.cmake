@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_caches_test.dir/integration_caches_test.cc.o"
+  "CMakeFiles/integration_caches_test.dir/integration_caches_test.cc.o.d"
+  "integration_caches_test"
+  "integration_caches_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_caches_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

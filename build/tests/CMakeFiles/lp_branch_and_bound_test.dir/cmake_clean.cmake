@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_branch_and_bound_test.dir/lp_branch_and_bound_test.cc.o"
+  "CMakeFiles/lp_branch_and_bound_test.dir/lp_branch_and_bound_test.cc.o.d"
+  "lp_branch_and_bound_test"
+  "lp_branch_and_bound_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_branch_and_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

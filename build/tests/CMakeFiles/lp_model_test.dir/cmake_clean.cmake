@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_model_test.dir/lp_model_test.cc.o"
+  "CMakeFiles/lp_model_test.dir/lp_model_test.cc.o.d"
+  "lp_model_test"
+  "lp_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_simplex_test.dir/lp_simplex_test.cc.o"
+  "CMakeFiles/lp_simplex_test.dir/lp_simplex_test.cc.o.d"
+  "lp_simplex_test"
+  "lp_simplex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_simplex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

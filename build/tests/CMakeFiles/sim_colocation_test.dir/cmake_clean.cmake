@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_colocation_test.dir/sim_colocation_test.cc.o"
+  "CMakeFiles/sim_colocation_test.dir/sim_colocation_test.cc.o.d"
+  "sim_colocation_test"
+  "sim_colocation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_colocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

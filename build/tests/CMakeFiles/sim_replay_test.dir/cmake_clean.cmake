@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_replay_test.dir/sim_replay_test.cc.o"
+  "CMakeFiles/sim_replay_test.dir/sim_replay_test.cc.o.d"
+  "sim_replay_test"
+  "sim_replay_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

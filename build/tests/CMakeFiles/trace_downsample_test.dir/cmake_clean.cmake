@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_downsample_test.dir/trace_downsample_test.cc.o"
+  "CMakeFiles/trace_downsample_test.dir/trace_downsample_test.cc.o.d"
+  "trace_downsample_test"
+  "trace_downsample_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_downsample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

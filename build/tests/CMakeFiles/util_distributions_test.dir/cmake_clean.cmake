@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_distributions_test.dir/util_distributions_test.cc.o"
+  "CMakeFiles/util_distributions_test.dir/util_distributions_test.cc.o.d"
+  "util_distributions_test"
+  "util_distributions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_distributions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

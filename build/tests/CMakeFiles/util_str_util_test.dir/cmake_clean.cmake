@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_str_util_test.dir/util_str_util_test.cc.o"
+  "CMakeFiles/util_str_util_test.dir/util_str_util_test.cc.o.d"
+  "util_str_util_test"
+  "util_str_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_str_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
