@@ -21,16 +21,18 @@ namespace {
 
 vcdn::sim::ReplayResult RunCafe(const vcdn::trace::Trace& trace,
                                 const vcdn::core::CacheConfig& config,
-                                const vcdn::core::CafeOptions& options) {
+                                const vcdn::core::CafeOptions& options,
+                                vcdn::bench::BenchObs* obs) {
   vcdn::core::CafeCache cache(config, options);
-  return vcdn::sim::Replay(cache, trace);
+  return vcdn::sim::Replay(cache, trace, obs->replay_options());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::BenchObs obs(argc, argv);
   bench::PrintHeader("Ablation: Cafe Cache design choices (Europe, 1 TB, alpha=2)",
                      "gamma = 0.25 in all paper experiments; chunk-level popularity + "
                      "unseen-chunk estimation drive Cafe's ingress efficiency",
@@ -44,7 +46,7 @@ int main() {
   for (double gamma : {0.05, 0.1, 0.25, 0.5, 0.75, 1.0}) {
     core::CafeOptions options;
     options.gamma = gamma;
-    sim::ReplayResult r = RunCafe(trace, config, options);
+    sim::ReplayResult r = RunCafe(trace, config, options, &obs);
     gamma_table.AddRow({util::FormatDouble(gamma, 2), util::FormatPercent(r.efficiency),
                         util::FormatPercent(r.ingress_fraction),
                         util::FormatPercent(r.redirect_fraction)});
@@ -56,7 +58,7 @@ int main() {
   for (bool enabled : {true, false}) {
     core::CafeOptions options;
     options.estimate_unseen_from_video = enabled;
-    sim::ReplayResult r = RunCafe(trace, config, options);
+    sim::ReplayResult r = RunCafe(trace, config, options, &obs);
     unseen_table.AddRow({enabled ? "on (paper)" : "off", util::FormatPercent(r.efficiency),
                          util::FormatPercent(r.ingress_fraction),
                          util::FormatPercent(r.redirect_fraction)});
@@ -69,7 +71,7 @@ int main() {
     core::CafeOptions options;
     options.history_retention_factor = retention;
     core::CafeCache cache(config, options);
-    sim::ReplayResult r = sim::Replay(cache, trace);
+    sim::ReplayResult r = sim::Replay(cache, trace, obs.replay_options());
     retention_table.AddRow({util::FormatDouble(retention, 1), util::FormatPercent(r.efficiency),
                             std::to_string(cache.tracked_history_chunks())});
   }
@@ -78,9 +80,9 @@ int main() {
   std::printf("[4] Value of admission control (vs always-fill LRU):\n");
   util::TextTable baseline_table({"cache", "efficiency", "ingress %", "redirect %"});
   {
-    sim::ReplayResult fill_lru = bench::RunCache(core::CacheKind::kFillLru, trace, config);
-    sim::ReplayResult xlru = bench::RunCache(core::CacheKind::kXlru, trace, config);
-    sim::ReplayResult cafe = RunCafe(trace, config, {});
+    sim::ReplayResult fill_lru = bench::RunCache(core::CacheKind::kFillLru, trace, config, &obs);
+    sim::ReplayResult xlru = bench::RunCache(core::CacheKind::kXlru, trace, config, &obs);
+    sim::ReplayResult cafe = RunCafe(trace, config, {}, &obs);
     for (const auto& r : {fill_lru, xlru, cafe}) {
       baseline_table.AddRow({r.cache_name, util::FormatPercent(r.efficiency),
                              util::FormatPercent(r.ingress_fraction),
@@ -88,5 +90,6 @@ int main() {
     }
   }
   std::printf("%s\n", baseline_table.ToString().c_str());
+  obs.WriteIfRequested();
   return 0;
 }

@@ -13,9 +13,10 @@
 #include "src/sim/colocation.h"
 #include "src/util/str_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::BenchObs obs(argc, argv);
   bench::PrintHeader(
       "Ablation: co-located servers, hash-mod vs random request splitting (footnote 2)",
       "hash-mod balances load and avoids co-located duplicates; random splitting "
@@ -54,5 +55,6 @@ int main() {
       "Reading: hash-mod sharding preserves nearly all of the monolithic cache's\n"
       "efficiency while keeping byte-load imbalance low; random splitting shows each\n"
       "server a diluted popularity signal and degrades the aggregate.\n");
+  obs.WriteIfRequested();
   return 0;
 }

@@ -16,9 +16,10 @@
 #include "bench/bench_common.h"
 #include "src/util/str_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::BenchObs obs(argc, argv);
   bench::PrintHeader(
       "Ablation: disk write interference of cache-fill (Sec. 2)",
       "every extra write-block costs 1.2-1.3 reads; conservative ingress (alpha>1) "
@@ -33,7 +34,7 @@ int main() {
   for (double alpha : {1.0, 2.0, 4.0}) {
     core::CacheConfig config = bench::PaperConfig(1.0, alpha, scale);
     for (auto kind : {core::CacheKind::kFillLru, core::CacheKind::kXlru, core::CacheKind::kCafe}) {
-      sim::ReplayResult r = bench::RunCache(kind, trace, config);
+      sim::ReplayResult r = bench::RunCache(kind, trace, config, &obs);
       uint64_t writes = r.steady.filled_chunks;
       // Reads are served chunk accesses: approximate by served bytes / chunk.
       double served_reads =
@@ -50,5 +51,6 @@ int main() {
       "Reading: on a disk-saturated server the 'lost reads' column is egress the server\n"
       "cannot serve because it is busy ingesting; Cafe at alpha>=2 reduces that loss by\n"
       "an order of magnitude versus always-fill LRU while keeping redirects bounded.\n");
+  obs.WriteIfRequested();
   return 0;
 }

@@ -19,9 +19,10 @@
 #include "src/core/cafe_cache.h"
 #include "src/util/str_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::BenchObs obs(argc, argv);
   bench::PrintHeader(
       "Ablation: Sec. 10 extensions (adaptive alpha, proactive caching, LFU baseline)",
       "future work in the paper; implemented here on top of Cafe Cache",
@@ -34,7 +35,7 @@ int main() {
       {"configuration", "efficiency", "ingress %", "redirect %", "final alpha"});
   for (double alpha : {1.0, 2.0, 4.0}) {
     core::CacheConfig config = bench::PaperConfig(1.0, alpha, scale);
-    sim::ReplayResult fixed = bench::RunCache(core::CacheKind::kCafe, trace, config);
+    sim::ReplayResult fixed = bench::RunCache(core::CacheKind::kCafe, trace, config, &obs);
     adaptive_table.AddRow({"fixed alpha=" + util::FormatDouble(alpha, 1),
                            util::FormatPercent(fixed.efficiency),
                            util::FormatPercent(fixed.ingress_fraction),
@@ -48,7 +49,7 @@ int main() {
     options.max_alpha = 8.0;
     auto inner = std::make_unique<core::CafeCache>(config);
     core::AdaptiveAlphaCache cache(std::move(inner), options);
-    sim::ReplayResult result = sim::Replay(cache, trace);
+    sim::ReplayResult result = sim::Replay(cache, trace, obs.replay_options());
     adaptive_table.AddRow({"budget ingress<=" + util::FormatPercent(budget, 0),
                            util::FormatPercent(result.efficiency),
                            util::FormatPercent(result.ingress_fraction),
@@ -65,7 +66,7 @@ int main() {
     core::CafeOptions options;
     options.proactive = proactive;
     core::CafeCache cache(config, options);
-    sim::ReplayResult result = sim::Replay(cache, trace);
+    sim::ReplayResult result = sim::Replay(cache, trace, obs.replay_options());
     proactive_table.AddRow({proactive ? "Cafe + proactive" : "Cafe (vanilla)",
                             util::FormatPercent(result.efficiency),
                             util::FormatPercent(result.ingress_fraction),
@@ -84,11 +85,12 @@ int main() {
   core::CacheConfig config = bench::PaperConfig(1.0, 2.0, scale);
   for (auto kind : {core::CacheKind::kFillLru, core::CacheKind::kFillLfu, core::CacheKind::kXlru,
                     core::CacheKind::kCafe, core::CacheKind::kBelady}) {
-    sim::ReplayResult r = bench::RunCache(kind, trace, config);
+    sim::ReplayResult r = bench::RunCache(kind, trace, config, &obs);
     baseline_table.AddRow({r.cache_name, util::FormatPercent(r.efficiency),
                            util::FormatPercent(r.ingress_fraction),
                            util::FormatPercent(r.redirect_fraction)});
   }
   std::printf("%s\n", baseline_table.ToString().c_str());
+  obs.WriteIfRequested();
   return 0;
 }

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "src/util/str_util.h"
 
@@ -55,10 +56,38 @@ core::CacheConfig PaperConfig(double paper_terabytes, double alpha, const BenchS
   return config;
 }
 
+BenchObs::BenchObs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--obs-json") {
+      path_ = argv[i + 1];
+      return;
+    }
+  }
+}
+
+void BenchObs::WriteIfRequested() {
+  if (!enabled()) {
+    return;
+  }
+  std::ofstream out(path_);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+    return;
+  }
+  obs::WriteObsJson(out, &registry_, &sink_);
+  std::printf("Observability dump written to %s (%zu trace events, %zu instruments)\n",
+              path_.c_str(), sink_.num_events(), registry_.num_instruments());
+}
+
 sim::ReplayResult RunCache(core::CacheKind kind, const trace::Trace& trace,
-                           const core::CacheConfig& config) {
+                           const core::CacheConfig& config, BenchObs* obs) {
   auto cache = core::MakeCache(kind, config);
-  return sim::Replay(*cache, trace);
+  sim::ReplayOptions options;
+  if (obs != nullptr && obs->enabled()) {
+    options.metrics = obs->metrics();
+    options.trace_sink = obs->trace_sink();
+  }
+  return sim::Replay(*cache, trace, options);
 }
 
 void PrintHeader(const std::string& experiment, const std::string& paper_claim,

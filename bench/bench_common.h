@@ -27,6 +27,8 @@
 
 #include "src/core/cache_algorithm.h"
 #include "src/core/cache_factory.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_event.h"
 #include "src/sim/replay.h"
 #include "src/trace/server_profile.h"
 #include "src/trace/workload_generator.h"
@@ -48,6 +50,42 @@ struct BenchScale {
 // Reads the scale from the environment (defaults above).
 BenchScale ScaleFromEnv();
 
+// Optional observability sink shared by the experiment binaries.
+//
+// Every bench accepts `--obs-json <path>`: when given, RunCache threads a
+// MetricsRegistry and a TraceEventSink through Replay, and WriteIfRequested
+// dumps the combined document (metrics + Chrome traceEvents, loadable in
+// chrome://tracing / Perfetto) to the path at exit. Without the flag the
+// instruments stay detached and replay runs at full speed.
+class BenchObs {
+ public:
+  // Scans argv for --obs-json; other flags are left for the bench to handle.
+  BenchObs(int argc, char** argv);
+
+  bool enabled() const { return !path_.empty(); }
+  obs::MetricsRegistry* metrics() { return enabled() ? &registry_ : nullptr; }
+  obs::TraceEventSink* trace_sink() { return enabled() ? &sink_ : nullptr; }
+
+  // Writes the combined JSON document; no-op when --obs-json was not given.
+  void WriteIfRequested();
+
+  // ReplayOptions wired to this BenchObs (empty when disabled), for benches
+  // that call sim::Replay directly instead of going through RunCache.
+  sim::ReplayOptions replay_options() {
+    sim::ReplayOptions options;
+    if (enabled()) {
+      options.metrics = &registry_;
+      options.trace_sink = &sink_;
+    }
+    return options;
+  }
+
+ private:
+  std::string path_;
+  obs::MetricsRegistry registry_;
+  obs::TraceEventSink sink_;
+};
+
 // Generates the one-month trace of a server profile at the given scale.
 trace::Trace MakeServerTrace(trace::ServerProfile profile, const BenchScale& scale);
 
@@ -57,9 +95,10 @@ trace::Trace MakeEuropeTrace(const BenchScale& scale);
 // Cache config in "paper units": disk quoted in paper-TB.
 core::CacheConfig PaperConfig(double paper_terabytes, double alpha, const BenchScale& scale);
 
-// Replays `kind` on `trace` and returns the steady-state result.
+// Replays `kind` on `trace` and returns the steady-state result. When `obs`
+// is non-null and enabled, the replay records into its registry/trace sink.
 sim::ReplayResult RunCache(core::CacheKind kind, const trace::Trace& trace,
-                           const core::CacheConfig& config);
+                           const core::CacheConfig& config, BenchObs* obs = nullptr);
 
 // Prints the experiment banner: figure id, what the paper reported, and the
 // scale in effect.

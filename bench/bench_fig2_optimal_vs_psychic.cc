@@ -43,9 +43,10 @@ size_t EnvSize(const char* name, size_t fallback) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::BenchObs obs(argc, argv);
   size_t num_files = EnvSize("VCDN_FIG2_FILES", 40);
   size_t max_requests = EnvSize("VCDN_FIG2_REQUESTS", 160);
   bench::PrintHeader(
@@ -192,5 +193,6 @@ int main() {
       }
     }
   }
+  obs.WriteIfRequested();
   return 0;
 }

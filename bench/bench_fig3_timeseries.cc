@@ -61,9 +61,10 @@ void WriteSeriesCsv(const std::vector<vcdn::sim::ReplayResult>& results, const c
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::BenchObs obs(argc, argv);
   bench::PrintHeader(
       "Figure 3: ingress / redirection / efficiency time series (Europe, 1 TB, alpha=2)",
       "diurnal pattern in ingress & redirects; xLRU ingress >> Cafe ~ Psychic; "
@@ -75,7 +76,7 @@ int main() {
 
   std::vector<sim::ReplayResult> results;
   for (auto kind : {core::CacheKind::kXlru, core::CacheKind::kCafe, core::CacheKind::kPsychic}) {
-    results.push_back(bench::RunCache(kind, trace, config));
+    results.push_back(bench::RunCache(kind, trace, config, &obs));
   }
 
   std::printf("\nSteady-state averages (second half of the month):\n");
@@ -87,6 +88,18 @@ int main() {
                     util::FormatPercent(r.efficiency - results[0].efficiency)});
   }
   std::printf("%s\n", summary.ToString().c_str());
+
+  // Whole-run ingress/eviction volume (warmup included) -- the same
+  // quantities the --obs-json registry counters report.
+  std::printf("Whole-run chunk totals:\n");
+  for (const auto& r : results) {
+    std::printf("  %-8s filled %llu (of which proactive %llu), evicted %llu\n",
+                r.cache_name.c_str(),
+                static_cast<unsigned long long>(r.totals.filled_chunks),
+                static_cast<unsigned long long>(r.totals.proactive_filled_chunks),
+                static_cast<unsigned long long>(r.totals.evicted_chunks));
+  }
+  std::printf("\n");
 
   // Daily aggregation of the hourly series (readable in a terminal).
   std::printf("Daily series (ingress%% / redirect%% per cache):\n");
@@ -132,5 +145,6 @@ int main() {
     int bar = peak > 0 ? static_cast<int>(by_hour[static_cast<size_t>(hod)] / peak * 50) : 0;
     std::printf("%02d:00 %s\n", hod, std::string(static_cast<size_t>(bar), '#').c_str());
   }
+  obs.WriteIfRequested();
   return 0;
 }

@@ -13,9 +13,10 @@
 #include "bench/bench_common.h"
 #include "src/util/str_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::BenchObs obs(argc, argv);
   bench::PrintHeader(
       "Figure 4: efficiency vs alpha_F2R (Europe, 1 TB)",
       "alpha=1: xLRU 59%, Cafe 61%; alpha=2: xLRU 62%, Cafe 73%, Psychic 75%; "
@@ -31,14 +32,15 @@ int main() {
                          "Psychic-xLRU"});
   for (double alpha : {0.5, 1.0, 2.0, 4.0}) {
     core::CacheConfig config = bench::PaperConfig(1.0, alpha, scale);
-    sim::ReplayResult xlru = bench::RunCache(core::CacheKind::kXlru, trace, config);
-    sim::ReplayResult cafe = bench::RunCache(core::CacheKind::kCafe, trace, config);
-    sim::ReplayResult psychic = bench::RunCache(core::CacheKind::kPsychic, trace, config);
+    sim::ReplayResult xlru = bench::RunCache(core::CacheKind::kXlru, trace, config, &obs);
+    sim::ReplayResult cafe = bench::RunCache(core::CacheKind::kCafe, trace, config, &obs);
+    sim::ReplayResult psychic = bench::RunCache(core::CacheKind::kPsychic, trace, config, &obs);
     table.AddRow({util::FormatDouble(alpha, 2), util::FormatPercent(xlru.efficiency),
                   util::FormatPercent(cafe.efficiency), util::FormatPercent(psychic.efficiency),
                   util::FormatPercent(cafe.efficiency - xlru.efficiency),
                   util::FormatPercent(psychic.efficiency - xlru.efficiency)});
   }
   std::printf("%s\n", table.ToString().c_str());
+  obs.WriteIfRequested();
   return 0;
 }

@@ -15,9 +15,10 @@
 #include "bench/bench_common.h"
 #include "src/util/str_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::BenchObs obs(argc, argv);
   bench::PrintHeader(
       "Figure 5: operating points (ingress% vs redirect%) for alpha in {4,2,1,0.5}",
       "xLRU ingress floor ~15% at alpha=4; Cafe/Psychic shrink ingress to a few %; "
@@ -30,7 +31,7 @@ int main() {
   for (double alpha : {4.0, 2.0, 1.0, 0.5}) {
     core::CacheConfig config = bench::PaperConfig(1.0, alpha, scale);
     for (auto kind : {core::CacheKind::kXlru, core::CacheKind::kCafe, core::CacheKind::kPsychic}) {
-      sim::ReplayResult r = bench::RunCache(kind, trace, config);
+      sim::ReplayResult r = bench::RunCache(kind, trace, config, &obs);
       table.AddRow({util::FormatDouble(alpha, 2), r.cache_name,
                     util::FormatPercent(r.ingress_fraction),
                     util::FormatPercent(r.redirect_fraction), util::FormatPercent(r.efficiency)});
@@ -40,11 +41,12 @@ int main() {
 
   std::printf("Shape checks:\n");
   core::CacheConfig config4 = bench::PaperConfig(1.0, 4.0, scale);
-  sim::ReplayResult xlru4 = bench::RunCache(core::CacheKind::kXlru, trace, config4);
-  sim::ReplayResult cafe4 = bench::RunCache(core::CacheKind::kCafe, trace, config4);
+  sim::ReplayResult xlru4 = bench::RunCache(core::CacheKind::kXlru, trace, config4, &obs);
+  sim::ReplayResult cafe4 = bench::RunCache(core::CacheKind::kCafe, trace, config4, &obs);
   std::printf("  xLRU ingress floor at alpha=4:   %s (paper: ~15%%)\n",
               util::FormatPercent(xlru4.ingress_fraction).c_str());
   std::printf("  Cafe ingress at alpha=4:         %s (paper: a few %%)\n",
               util::FormatPercent(cafe4.ingress_fraction).c_str());
+  obs.WriteIfRequested();
   return 0;
 }

@@ -33,9 +33,10 @@ double DiskToReach(const std::vector<double>& disks, const std::vector<double>& 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::BenchObs obs(argc, argv);
   bench::PrintHeader(
       "Figure 6: efficiency vs disk capacity (Europe, alpha=2)",
       "efficiency rises with disk; xLRU needs 2-3x Cafe's disk for equal efficiency "
@@ -52,9 +53,9 @@ int main() {
     std::vector<double> cafe_eff;
     for (double tb : paper_tb) {
       core::CacheConfig config = bench::PaperConfig(tb, alpha, scale);
-      sim::ReplayResult xlru = bench::RunCache(core::CacheKind::kXlru, trace, config);
-      sim::ReplayResult cafe = bench::RunCache(core::CacheKind::kCafe, trace, config);
-      sim::ReplayResult psychic = bench::RunCache(core::CacheKind::kPsychic, trace, config);
+      sim::ReplayResult xlru = bench::RunCache(core::CacheKind::kXlru, trace, config, &obs);
+      sim::ReplayResult cafe = bench::RunCache(core::CacheKind::kCafe, trace, config, &obs);
+      sim::ReplayResult psychic = bench::RunCache(core::CacheKind::kPsychic, trace, config, &obs);
       xlru_eff.push_back(xlru.efficiency);
       cafe_eff.push_back(cafe.efficiency);
       table.AddRow({util::FormatDouble(tb, 2), std::to_string(config.disk_capacity_chunks),
@@ -76,5 +77,6 @@ int main() {
       }
     }
   }
+  obs.WriteIfRequested();
   return 0;
 }

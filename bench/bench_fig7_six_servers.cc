@@ -14,9 +14,10 @@
 #include "bench/bench_common.h"
 #include "src/util/str_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::BenchObs obs(argc, argv);
   bench::PrintHeader(
       "Figure 7: efficiency across six servers (1 TB, alpha=2)",
       "same ordering everywhere; higher efficiency for narrow request profiles (Asia), "
@@ -33,9 +34,9 @@ int main() {
   double asia_gap = 0.0;
   for (const trace::ServerProfile& profile : trace::PaperServerProfiles(scale.workload_scale)) {
     trace::Trace trace = bench::MakeServerTrace(profile, scale);
-    sim::ReplayResult xlru = bench::RunCache(core::CacheKind::kXlru, trace, config);
-    sim::ReplayResult cafe = bench::RunCache(core::CacheKind::kCafe, trace, config);
-    sim::ReplayResult psychic = bench::RunCache(core::CacheKind::kPsychic, trace, config);
+    sim::ReplayResult xlru = bench::RunCache(core::CacheKind::kXlru, trace, config, &obs);
+    sim::ReplayResult cafe = bench::RunCache(core::CacheKind::kCafe, trace, config, &obs);
+    sim::ReplayResult psychic = bench::RunCache(core::CacheKind::kPsychic, trace, config, &obs);
     table.AddRow({profile.name, std::to_string(trace.requests.size()),
                   util::FormatPercent(xlru.efficiency), util::FormatPercent(cafe.efficiency),
                   util::FormatPercent(psychic.efficiency),
@@ -59,5 +60,6 @@ int main() {
   std::printf("  xLRU gap wider on SouthAmerica (%s) than Asia (%s) : %s\n",
               util::FormatPercent(sa_gap).c_str(), util::FormatPercent(asia_gap).c_str(),
               sa_gap > asia_gap ? "OK" : "MISMATCH");
+  obs.WriteIfRequested();
   return 0;
 }

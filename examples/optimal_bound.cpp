@@ -82,16 +82,21 @@ int main(int argc, char** argv) {
 
   core::OptimalCacheSolver solver(config, core::OptimalOptions{});
   core::OptimalBound bound = solver.SolveBound(down.trace);
-  std::printf("LP-relaxed Optimal bound:   efficiency <= %s  (cost %.1f, %d rows, %lld iters)\n",
-              util::FormatPercent(bound.efficiency_bound).c_str(), bound.total_cost,
-              bound.num_rows, static_cast<long long>(bound.iterations));
+  std::printf(
+      "LP-relaxed Optimal bound:   efficiency <= %s  (cost %.1f, %d rows, %lld iters, "
+      "%lld refactorizations)\n",
+      util::FormatPercent(bound.efficiency_bound).c_str(), bound.total_cost, bound.num_rows,
+      static_cast<long long>(bound.stats.iterations),
+      static_cast<long long>(bound.stats.refactorizations));
 
   core::OptimalExactResult exact = solver.SolveExact(down.trace, /*max_nodes=*/50000);
   if (exact.status == lp::SolveStatus::kOptimal) {
-    std::printf("Exact IP optimum (B&B):     efficiency  = %s  (%lld nodes, gap %.2f)\n",
-                util::FormatPercent(exact.efficiency).c_str(),
-                static_cast<long long>(exact.nodes_explored),
-                exact.total_cost - bound.total_cost);
+    std::printf(
+        "Exact IP optimum (B&B):     efficiency  = %s  (%lld nodes, %lld simplex iters, "
+        "gap %.2f)\n",
+        util::FormatPercent(exact.efficiency).c_str(),
+        static_cast<long long>(exact.nodes_explored),
+        static_cast<long long>(exact.stats.iterations), exact.total_cost - bound.total_cost);
   } else {
     std::printf("Exact IP optimum (B&B):     %s within node budget\n",
                 lp::SolveStatusName(exact.status));

@@ -50,10 +50,12 @@ void AdaptiveAlphaCache::MaybeAdjust(double now) {
       // Too much ingress: fill more conservatively.
       SetAlphaF2r(alpha_ * options_.step);
       ++adjustments_;
+      adjustments_total_.Increment();
     } else if (ingress_fraction < target * (1.0 - options_.deadband)) {
       // Spare ingress budget: fill more eagerly.
       SetAlphaF2r(alpha_ / options_.step);
       ++adjustments_;
+      adjustments_total_.Increment();
     }
   }
   window_start_ = now;
@@ -62,7 +64,18 @@ void AdaptiveAlphaCache::MaybeAdjust(double now) {
   window_requests_ = 0;
 }
 
-RequestOutcome AdaptiveAlphaCache::HandleRequest(const trace::Request& request) {
+void AdaptiveAlphaCache::OnAttachMetrics(obs::MetricsRegistry& registry,
+                                         const std::string& prefix) {
+  alpha_gauge_ = registry.GetGauge(prefix + "alpha_f2r");
+  adjustments_total_ = registry.GetCounter(prefix + "alpha_adjustments_total");
+  inner_->AttachMetrics(registry);
+}
+
+void AdaptiveAlphaCache::OnOutcomeRecorded() {
+  alpha_gauge_.Set(alpha_);
+}
+
+RequestOutcome AdaptiveAlphaCache::HandleRequestImpl(const trace::Request& request) {
   MaybeAdjust(request.arrival_time);
   RequestOutcome outcome = inner_->HandleRequest(request);
   ++window_requests_;

@@ -41,7 +41,6 @@ class AdaptiveAlphaCache : public CacheAlgorithm {
   AdaptiveAlphaCache(std::unique_ptr<CacheAlgorithm> inner, const AdaptiveAlphaOptions& options);
 
   void Prepare(const trace::Trace& trace) override { inner_->Prepare(trace); }
-  RequestOutcome HandleRequest(const trace::Request& request) override;
   std::string_view name() const override { return name_; }
   uint64_t used_chunks() const override { return inner_->used_chunks(); }
   bool ContainsChunk(const ChunkId& chunk) const override { return inner_->ContainsChunk(chunk); }
@@ -49,6 +48,13 @@ class AdaptiveAlphaCache : public CacheAlgorithm {
 
   double current_alpha() const { return alpha_; }
   size_t adjustments() const { return adjustments_; }
+
+ protected:
+  RequestOutcome HandleRequestImpl(const trace::Request& request) override;
+  // Also attaches the wrapped cache, so its own instrument set (under the
+  // inner cache's name) is populated alongside the controller's.
+  void OnAttachMetrics(obs::MetricsRegistry& registry, const std::string& prefix) override;
+  void OnOutcomeRecorded() override;
 
  private:
   void MaybeAdjust(double now);
@@ -63,6 +69,10 @@ class AdaptiveAlphaCache : public CacheAlgorithm {
   uint64_t window_filled_bytes_ = 0;
   uint64_t window_requests_ = 0;
   size_t adjustments_ = 0;
+
+  // Observability (no-ops until AttachMetrics).
+  obs::Gauge alpha_gauge_;
+  obs::Counter adjustments_total_;
 };
 
 }  // namespace vcdn::core

@@ -11,7 +11,7 @@ namespace {
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
 }  // namespace
 
-RequestOutcome AlwaysFillLruCache::HandleRequest(const trace::Request& request) {
+RequestOutcome AlwaysFillLruCache::HandleRequestImpl(const trace::Request& request) {
   const double now = request.arrival_time;
   RequestOutcome outcome = MakeOutcome(request);
   ChunkRange range = ToChunkRange(request, config_.chunk_bytes);
@@ -52,7 +52,7 @@ double FillLfuCache::BumpKey(double old_key, double now) const {
   return std::log2(aged_count + 1.0) + phase;
 }
 
-RequestOutcome FillLfuCache::HandleRequest(const trace::Request& request) {
+RequestOutcome FillLfuCache::HandleRequestImpl(const trace::Request& request) {
   const double now = request.arrival_time;
   RequestOutcome outcome = MakeOutcome(request);
   ChunkRange range = ToChunkRange(request, config_.chunk_bytes);
@@ -110,7 +110,7 @@ void BeladyCache::Prepare(const trace::Trace& trace) {
   prepared_ = true;
 }
 
-RequestOutcome BeladyCache::HandleRequest(const trace::Request& request) {
+RequestOutcome BeladyCache::HandleRequestImpl(const trace::Request& request) {
   VCDN_CHECK_MSG(prepared_, "BeladyCache::Prepare() must run before replay");
   const double now = request.arrival_time;
   RequestOutcome outcome = MakeOutcome(request);

@@ -30,10 +30,12 @@ class AlwaysFillLruCache : public CacheAlgorithm {
  public:
   explicit AlwaysFillLruCache(const CacheConfig& config) : CacheAlgorithm(config) {}
 
-  RequestOutcome HandleRequest(const trace::Request& request) override;
   std::string_view name() const override { return "FillLRU"; }
   uint64_t used_chunks() const override { return disk_.size(); }
   bool ContainsChunk(const ChunkId& chunk) const override { return disk_.Contains(chunk); }
+
+ protected:
+  RequestOutcome HandleRequestImpl(const trace::Request& request) override;
 
  private:
   container::LruMap<ChunkId, double, ChunkIdHash> disk_;
@@ -50,10 +52,12 @@ class FillLfuCache : public CacheAlgorithm {
     VCDN_CHECK(aging_halflife_seconds > 0.0);
   }
 
-  RequestOutcome HandleRequest(const trace::Request& request) override;
   std::string_view name() const override { return "FillLFU"; }
   uint64_t used_chunks() const override { return cached_.size(); }
   bool ContainsChunk(const ChunkId& chunk) const override { return cached_.Contains(chunk); }
+
+ protected:
+  RequestOutcome HandleRequestImpl(const trace::Request& request) override;
 
  private:
   // Time-invariant LFU key: log2(aged count) + t/halflife. Aging multiplies
@@ -73,10 +77,12 @@ class BeladyCache : public CacheAlgorithm {
   explicit BeladyCache(const CacheConfig& config) : CacheAlgorithm(config) {}
 
   void Prepare(const trace::Trace& trace) override;
-  RequestOutcome HandleRequest(const trace::Request& request) override;
   std::string_view name() const override { return "Belady"; }
   uint64_t used_chunks() const override { return cached_.size(); }
   bool ContainsChunk(const ChunkId& chunk) const override { return cached_.Contains(chunk); }
+
+ protected:
+  RequestOutcome HandleRequestImpl(const trace::Request& request) override;
 
  private:
   struct FutureList {

@@ -9,10 +9,12 @@
 #define VCDN_SRC_CORE_CACHE_ALGORITHM_H_
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 #include "src/core/chunk.h"
 #include "src/core/cost_model.h"
+#include "src/obs/metrics.h"
 #include "src/trace/request.h"
 
 namespace vcdn::core {
@@ -59,7 +61,39 @@ class CacheAlgorithm {
   virtual void Prepare(const trace::Trace& trace) { (void)trace; }
 
   // Handles one request; requests must arrive in non-decreasing time order.
-  virtual RequestOutcome HandleRequest(const trace::Request& request) = 0;
+  // Non-virtual choke point: dispatches to HandleRequestImpl and, when a
+  // metrics registry is attached, records the outcome into the cache's
+  // instruments.
+  RequestOutcome HandleRequest(const trace::Request& request) {
+    RequestOutcome outcome = HandleRequestImpl(request);
+    if (metrics_attached_) {
+      RecordOutcome(outcome);
+    }
+    return outcome;
+  }
+
+  // Registers this cache's instruments under "cache.<name>." and starts
+  // recording every outcome (hits/fills/evictions/redirects, occupancy
+  // gauge, request-size histogram, plus subclass-specific instruments).
+  // Idempotent per registry; attaching a second registry re-points the
+  // handles. Counters of same-named caches in one registry aggregate.
+  void AttachMetrics(obs::MetricsRegistry& registry) {
+    const std::string prefix = "cache." + std::string(name()) + ".";
+    requests_total_ = registry.GetCounter(prefix + "requests_total");
+    served_total_ = registry.GetCounter(prefix + "served_total");
+    redirected_total_ = registry.GetCounter(prefix + "redirected_total");
+    hit_chunks_total_ = registry.GetCounter(prefix + "hit_chunks_total");
+    filled_chunks_total_ = registry.GetCounter(prefix + "filled_chunks_total");
+    proactive_filled_chunks_total_ =
+        registry.GetCounter(prefix + "proactive_filled_chunks_total");
+    evicted_chunks_total_ = registry.GetCounter(prefix + "evicted_chunks_total");
+    used_chunks_gauge_ = registry.GetGauge(prefix + "used_chunks");
+    request_chunks_hist_ = registry.GetHistogram(prefix + "request_chunks", 0.0, 64.0, 16);
+    OnAttachMetrics(registry, prefix);
+    metrics_attached_ = true;
+  }
+
+  bool metrics_attached() const { return metrics_attached_; }
 
   virtual std::string_view name() const = 0;
 
@@ -82,6 +116,20 @@ class CacheAlgorithm {
   const CostModel& cost_model() const { return cost_; }
 
  protected:
+  // The algorithm's actual request handling (old virtual HandleRequest).
+  virtual RequestOutcome HandleRequestImpl(const trace::Request& request) = 0;
+
+  // Subclass hook: register algorithm-specific instruments under `prefix`
+  // (e.g. xLRU's tracker occupancy, Cafe's admission-decision mix).
+  virtual void OnAttachMetrics(obs::MetricsRegistry& registry, const std::string& prefix) {
+    (void)registry;
+    (void)prefix;
+  }
+
+  // Subclass hook: refresh algorithm-specific gauges; called after each
+  // recorded request while metrics are attached.
+  virtual void OnOutcomeRecorded() {}
+
   // Shared helper: outcome skeleton for a request.
   RequestOutcome MakeOutcome(const trace::Request& request) const {
     RequestOutcome outcome;
@@ -92,6 +140,35 @@ class CacheAlgorithm {
 
   CacheConfig config_;
   CostModel cost_;
+
+ private:
+  void RecordOutcome(const RequestOutcome& outcome) {
+    requests_total_.Increment();
+    if (outcome.decision == Decision::kServe) {
+      served_total_.Increment();
+    } else {
+      redirected_total_.Increment();
+    }
+    hit_chunks_total_.Increment(outcome.hit_chunks);
+    // Matches ReplayTotals::filled_chunks: proactive prefetches are ingress.
+    filled_chunks_total_.Increment(outcome.filled_chunks + outcome.proactive_filled_chunks);
+    proactive_filled_chunks_total_.Increment(outcome.proactive_filled_chunks);
+    evicted_chunks_total_.Increment(outcome.evicted_chunks);
+    used_chunks_gauge_.Set(static_cast<double>(used_chunks()));
+    request_chunks_hist_.Observe(static_cast<double>(outcome.requested_chunks));
+    OnOutcomeRecorded();
+  }
+
+  bool metrics_attached_ = false;
+  obs::Counter requests_total_;
+  obs::Counter served_total_;
+  obs::Counter redirected_total_;
+  obs::Counter hit_chunks_total_;
+  obs::Counter filled_chunks_total_;
+  obs::Counter proactive_filled_chunks_total_;
+  obs::Counter evicted_chunks_total_;
+  obs::Gauge used_chunks_gauge_;
+  obs::Histogram request_chunks_hist_;
 };
 
 }  // namespace vcdn::core

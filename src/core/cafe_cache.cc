@@ -159,7 +159,26 @@ uint32_t CafeCache::ProactiveFill(double now) {
   return filled;
 }
 
-RequestOutcome CafeCache::HandleRequest(const trace::Request& request) {
+void CafeCache::OnAttachMetrics(obs::MetricsRegistry& registry, const std::string& prefix) {
+  admit_serve_total_ = registry.GetCounter(prefix + "admit_serve_total");
+  admit_redirect_cost_total_ = registry.GetCounter(prefix + "admit_redirect_cost_total");
+  admit_redirect_unseen_total_ = registry.GetCounter(prefix + "admit_redirect_unseen_total");
+  admit_redirect_too_wide_total_ = registry.GetCounter(prefix + "admit_redirect_too_wide_total");
+  proactive_fill_rounds_total_ = registry.GetCounter(prefix + "proactive_fill_rounds_total");
+  history_chunks_gauge_ = registry.GetGauge(prefix + "history_chunks");
+  tracked_videos_gauge_ = registry.GetGauge(prefix + "tracked_videos");
+  cache_age_gauge_ = registry.GetGauge(prefix + "cache_age_seconds");
+  request_rate_gauge_ = registry.GetGauge(prefix + "request_rate_per_sec");
+}
+
+void CafeCache::OnOutcomeRecorded() {
+  history_chunks_gauge_.Set(static_cast<double>(history_.size()));
+  tracked_videos_gauge_.Set(static_cast<double>(video_seen_.size()));
+  cache_age_gauge_.Set(CacheAge(last_arrival_));
+  request_rate_gauge_.Set(rate_estimate_);
+}
+
+RequestOutcome CafeCache::HandleRequestImpl(const trace::Request& request) {
   const double now = request.arrival_time;
   if (first_request_time_ < 0.0) {
     first_request_time_ = now;
@@ -235,6 +254,7 @@ RequestOutcome CafeCache::HandleRequest(const trace::Request& request) {
   }
 
   if (admit) {
+    admit_serve_total_.Increment();
     // Evict S'' (stats move to history), fill S', touch all of S.
     for (const auto& [chunk, iat] : victims) {
       (void)iat;
@@ -265,6 +285,13 @@ RequestOutcome CafeCache::HandleRequest(const trace::Request& request) {
     }
     outcome.decision = Decision::kServe;
   } else {
+    if (!video_seen) {
+      admit_redirect_unseen_total_.Increment();
+    } else if (range.count() > config_.disk_capacity_chunks) {
+      admit_redirect_too_wide_total_.Increment();
+    } else {
+      admit_redirect_cost_total_.Increment();
+    }
     // Redirect. The request still signals popularity: update every requested
     // chunk's stat (cached chunks get re-keyed, uncached ones tracked in
     // history).
@@ -301,6 +328,9 @@ RequestOutcome CafeCache::HandleRequest(const trace::Request& request) {
   last_arrival_ = now;
   if (options_.proactive) {
     outcome.proactive_filled_chunks = ProactiveFill(now);
+    if (outcome.proactive_filled_chunks > 0) {
+      proactive_fill_rounds_total_.Increment();
+    }
   }
 
   CleanupHistory(now);

@@ -75,7 +75,6 @@ class CafeCache : public CacheAlgorithm {
  public:
   CafeCache(const CacheConfig& config, const CafeOptions& options = {});
 
-  RequestOutcome HandleRequest(const trace::Request& request) override;
   std::string_view name() const override { return "Cafe"; }
   uint64_t used_chunks() const override { return cached_.size(); }
   bool ContainsChunk(const ChunkId& chunk) const override { return cached_.Contains(chunk); }
@@ -90,6 +89,11 @@ class CafeCache : public CacheAlgorithm {
   double EstimateIat(const ChunkId& chunk, double now) const;
 
   size_t tracked_history_chunks() const { return history_.size(); }
+
+ protected:
+  RequestOutcome HandleRequestImpl(const trace::Request& request) override;
+  void OnAttachMetrics(obs::MetricsRegistry& registry, const std::string& prefix) override;
+  void OnOutcomeRecorded() override;
 
  private:
   struct ChunkStat {
@@ -135,6 +139,18 @@ class CafeCache : public CacheAlgorithm {
   double last_arrival_ = -1.0;
   double rate_estimate_ = 0.0;
   double peak_rate_ = 0.0;
+
+  // Observability (no-ops until AttachMetrics): the admission-decision mix of
+  // Eqs. (6)-(7) and the popularity-tracking queue depths.
+  obs::Counter admit_serve_total_;
+  obs::Counter admit_redirect_cost_total_;
+  obs::Counter admit_redirect_unseen_total_;
+  obs::Counter admit_redirect_too_wide_total_;
+  obs::Counter proactive_fill_rounds_total_;
+  obs::Gauge history_chunks_gauge_;
+  obs::Gauge tracked_videos_gauge_;
+  obs::Gauge cache_age_gauge_;
+  obs::Gauge request_rate_gauge_;
 };
 
 }  // namespace vcdn::core

@@ -163,7 +163,7 @@ OptimalBound OptimalCacheSolver::SolvePaperExact(const trace::Trace& trace) cons
           : 1.0 - bound.total_cost / static_cast<double>(inc.total_requested_chunks);
   bound.num_rows = model.num_rows();
   bound.num_columns = model.num_columns();
-  bound.iterations = lp_solution.iterations;
+  bound.stats = lp_solution.stats;
   return bound;
 }
 
@@ -300,7 +300,7 @@ OptimalBound OptimalCacheSolver::SolveIntervalReduced(const trace::Trace& trace)
           : 1.0 - bound.total_cost / static_cast<double>(bound.total_requested_chunks);
   bound.num_rows = built.model.num_rows();
   bound.num_columns = built.model.num_columns();
-  bound.iterations = lp_solution.iterations;
+  bound.stats = lp_solution.stats;
   return bound;
 }
 
@@ -325,6 +325,7 @@ OptimalExactResult OptimalCacheSolver::SolveExact(const trace::Trace& trace,
   result.root_relaxation_cost = mip.root_relaxation + built.constant;
   result.total_requested_chunks = built.incidence.total_requested_chunks;
   result.nodes_explored = mip.nodes_explored;
+  result.stats = mip.simplex_stats;
   result.efficiency =
       result.total_requested_chunks == 0
           ? 0.0

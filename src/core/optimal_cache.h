@@ -66,7 +66,7 @@ struct OptimalBound {
   // LP dimensions and effort, for reporting.
   int32_t num_rows = 0;
   int32_t num_columns = 0;
-  int64_t iterations = 0;
+  lp::SimplexStats stats;
 };
 
 // Result of the exact Integer Program (branch & bound over the LP): the true
@@ -79,6 +79,8 @@ struct OptimalExactResult {
   int64_t nodes_explored = 0;
   // LP relaxation at the root, for integrality-gap reporting.
   double root_relaxation_cost = 0.0;
+  // Total simplex effort across all node relaxations.
+  lp::SimplexStats stats;
 };
 
 // Solves the offline LP bound for a full request sequence against a given

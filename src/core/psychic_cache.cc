@@ -63,7 +63,17 @@ double PsychicCache::CacheAge(double now) const {
   return first_request_time_ < 0.0 ? 0.0 : now - first_request_time_;
 }
 
-RequestOutcome PsychicCache::HandleRequest(const trace::Request& request) {
+void PsychicCache::OnAttachMetrics(obs::MetricsRegistry& registry, const std::string& prefix) {
+  window_gauge_ = registry.GetGauge(prefix + "window_seconds");
+  tracked_futures_gauge_ = registry.GetGauge(prefix + "tracked_future_chunks");
+}
+
+void PsychicCache::OnOutcomeRecorded() {
+  window_gauge_.Set(average_residence_);
+  tracked_futures_gauge_.Set(static_cast<double>(futures_.size()));
+}
+
+RequestOutcome PsychicCache::HandleRequestImpl(const trace::Request& request) {
   VCDN_CHECK_MSG(prepared_, "PsychicCache::Prepare() must run before replay");
   const double now = request.arrival_time;
   if (first_request_time_ < 0.0) {

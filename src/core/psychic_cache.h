@@ -44,7 +44,6 @@ class PsychicCache : public CacheAlgorithm {
   // Indexes the full request sequence: per-chunk future arrival times.
   void Prepare(const trace::Trace& trace) override;
 
-  RequestOutcome HandleRequest(const trace::Request& request) override;
   std::string_view name() const override { return "Psychic"; }
   uint64_t used_chunks() const override { return cached_.size(); }
   bool ContainsChunk(const ChunkId& chunk) const override { return cached_.Contains(chunk); }
@@ -52,6 +51,11 @@ class PsychicCache : public CacheAlgorithm {
   // Average residence time of evicted chunks (the window T); falls back to
   // the elapsed trace time before the first eviction. Exposed for tests.
   double CacheAge(double now) const;
+
+ protected:
+  RequestOutcome HandleRequestImpl(const trace::Request& request) override;
+  void OnAttachMetrics(obs::MetricsRegistry& registry, const std::string& prefix) override;
+  void OnOutcomeRecorded() override;
 
  private:
   struct FutureList {
@@ -78,6 +82,10 @@ class PsychicCache : public CacheAlgorithm {
   double first_request_time_ = -1.0;
   double average_residence_ = 0.0;
   bool residence_initialized_ = false;
+
+  // Observability (no-ops until AttachMetrics).
+  obs::Gauge window_gauge_;
+  obs::Gauge tracked_futures_gauge_;
 };
 
 }  // namespace vcdn::core

@@ -34,8 +34,22 @@ void XlruCache::CleanupTracker(double now) {
   }
 }
 
-RequestOutcome XlruCache::HandleRequest(const trace::Request& request) {
+void XlruCache::OnAttachMetrics(obs::MetricsRegistry& registry, const std::string& prefix) {
+  redirect_unseen_total_ = registry.GetCounter(prefix + "redirect_unseen_total");
+  redirect_age_total_ = registry.GetCounter(prefix + "redirect_age_total");
+  redirect_too_wide_total_ = registry.GetCounter(prefix + "redirect_too_wide_total");
+  tracker_videos_gauge_ = registry.GetGauge(prefix + "tracker_videos");
+  cache_age_gauge_ = registry.GetGauge(prefix + "cache_age_seconds");
+}
+
+void XlruCache::OnOutcomeRecorded() {
+  tracker_videos_gauge_.Set(static_cast<double>(tracker_.size()));
+  cache_age_gauge_.Set(CacheAge(last_request_time_));
+}
+
+RequestOutcome XlruCache::HandleRequestImpl(const trace::Request& request) {
   const double now = request.arrival_time;
+  last_request_time_ = now;
   RequestOutcome outcome = MakeOutcome(request);
   ChunkRange range = ToChunkRange(request, config_.chunk_bytes);
 
@@ -49,6 +63,7 @@ RequestOutcome XlruCache::HandleRequest(const trace::Request& request) {
 
   bool disk_full = disk_.size() >= config_.disk_capacity_chunks;
   if (!seen_before) {
+    redirect_unseen_total_.Increment();
     outcome.decision = Decision::kRedirect;
     return outcome;
   }
@@ -56,11 +71,13 @@ RequestOutcome XlruCache::HandleRequest(const trace::Request& request) {
   // fill-to-redirect preference, exceeds the cache age. Only enforced once
   // the disk is full (warm-up admits all previously seen videos).
   if (disk_full && (now - last_time) * config_.alpha_f2r > CacheAge(now)) {
+    redirect_age_total_.Increment();
     outcome.decision = Decision::kRedirect;
     return outcome;
   }
   // A range wider than the whole disk cannot be held.
   if (range.count() > config_.disk_capacity_chunks) {
+    redirect_too_wide_total_.Increment();
     outcome.decision = Decision::kRedirect;
     return outcome;
   }

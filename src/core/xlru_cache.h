@@ -35,7 +35,6 @@ class XlruCache : public CacheAlgorithm {
  public:
   explicit XlruCache(const CacheConfig& config);
 
-  RequestOutcome HandleRequest(const trace::Request& request) override;
   std::string_view name() const override { return "xLRU"; }
   uint64_t used_chunks() const override { return disk_.size(); }
   bool ContainsChunk(const ChunkId& chunk) const override { return disk_.Contains(chunk); }
@@ -47,6 +46,11 @@ class XlruCache : public CacheAlgorithm {
   // Number of videos currently tracked by the popularity tracker.
   size_t tracked_videos() const { return tracker_.size(); }
 
+ protected:
+  RequestOutcome HandleRequestImpl(const trace::Request& request) override;
+  void OnAttachMetrics(obs::MetricsRegistry& registry, const std::string& prefix) override;
+  void OnOutcomeRecorded() override;
+
  private:
   // Drops tracker entries too old to ever pass the admission test again.
   void CleanupTracker(double now);
@@ -55,6 +59,15 @@ class XlruCache : public CacheAlgorithm {
   container::LruMap<VideoId, double> tracker_;
   // {video, chunk} -> last access time, in recency order (LRU replacement).
   container::LruMap<ChunkId, double, ChunkIdHash> disk_;
+  double last_request_time_ = 0.0;
+
+  // Observability (no-ops until AttachMetrics): why requests were redirected,
+  // and the popularity-tracker queue occupancy.
+  obs::Counter redirect_unseen_total_;
+  obs::Counter redirect_age_total_;
+  obs::Counter redirect_too_wide_total_;
+  obs::Gauge tracker_videos_gauge_;
+  obs::Gauge cache_age_gauge_;
 };
 
 }  // namespace vcdn::core

@@ -49,6 +49,16 @@ MipSolution SolveMip(const Model& model, const std::vector<int32_t>& integer_col
   }
   SimplexSolver solver(options.simplex);
 
+  // Node/incumbent instruments; no-ops when no registry is configured.
+  obs::Counter nodes_counter;
+  obs::Counter incumbents_counter;
+  obs::Gauge incumbent_gauge;
+  if (options.simplex.metrics != nullptr) {
+    nodes_counter = options.simplex.metrics->GetCounter("lp.bb.nodes_total");
+    incumbents_counter = options.simplex.metrics->GetCounter("lp.bb.incumbents_total");
+    incumbent_gauge = options.simplex.metrics->GetGauge("lp.bb.incumbent_objective");
+  }
+
   MipSolution best;
   best.status = SolveStatus::kInfeasible;  // until an incumbent is found
   double incumbent = kInf;
@@ -76,6 +86,7 @@ MipSolution SolveMip(const Model& model, const std::vector<int32_t>& integer_col
     Node node = std::move(stack.back());
     stack.pop_back();
     ++best.nodes_explored;
+    nodes_counter.Increment();
 
     // Apply the node's integer bounds.
     for (size_t k = 0; k < integer_columns.size(); ++k) {
@@ -83,6 +94,7 @@ MipSolution SolveMip(const Model& model, const std::vector<int32_t>& integer_col
       compiled.column_upper[static_cast<size_t>(integer_columns[k])] = node.upper[k];
     }
     Solution lp = solver.Solve(compiled);
+    best.simplex_stats.Accumulate(lp.stats);
     if (first_node) {
       best.root_relaxation = lp.status == SolveStatus::kOptimal ? lp.objective : -kInf;
       first_node = false;
@@ -109,6 +121,8 @@ MipSolution SolveMip(const Model& model, const std::vector<int32_t>& integer_col
         best.primal[static_cast<size_t>(col)] = std::round(best.primal[static_cast<size_t>(col)]);
       }
       best.status = SolveStatus::kOptimal;
+      incumbents_counter.Increment();
+      incumbent_gauge.Set(best.objective);
       continue;
     }
     double value = lp.primal[static_cast<size_t>(integer_columns[static_cast<size_t>(branch)])];

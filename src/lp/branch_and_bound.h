@@ -39,6 +39,8 @@ struct MipSolution {
   int64_t nodes_explored = 0;
   // Best LP bound at the root (for gap reporting).
   double root_relaxation = 0.0;
+  // Total simplex effort across all node relaxations.
+  SimplexStats simplex_stats;
 };
 
 // Minimizes the model with the given columns required to take integral

@@ -652,8 +652,8 @@ Solution SimplexSolver::Impl::Run() {
     obj += model_.objective[static_cast<size_t>(j)] * solution.primal[static_cast<size_t>(j)];
   }
   solution.objective = obj;
-  solution.iterations = iterations_;
-  solution.refactorizations = refactorizations_;
+  solution.stats.iterations = iterations_;
+  solution.stats.refactorizations = refactorizations_;
   return solution;
 }
 
@@ -661,7 +661,15 @@ SimplexSolver::SimplexSolver(SimplexOptions options) : options_(options) {}
 
 Solution SimplexSolver::Solve(const CompiledModel& model) {
   Impl impl(model, options_);
-  return impl.Run();
+  Solution solution = impl.Run();
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter("lp.simplex.solves_total").Increment();
+    options_.metrics->GetCounter("lp.simplex.iterations_total")
+        .Increment(static_cast<uint64_t>(solution.stats.iterations));
+    options_.metrics->GetCounter("lp.simplex.refactorizations_total")
+        .Increment(static_cast<uint64_t>(solution.stats.refactorizations));
+  }
+  return solution;
 }
 
 Solution SolveModel(const Model& model, const SimplexOptions& options) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/lp/model.h"
+#include "src/obs/metrics.h"
 
 namespace vcdn::lp {
 
@@ -50,6 +51,22 @@ struct SimplexOptions {
   int64_t residual_check_interval = 512;
   // Iterations without objective progress before switching to Bland's rule.
   int64_t stall_threshold = 2000;
+  // Optional instrument registry: each Solve accumulates into
+  // "lp.simplex.solves_total" / "lp.simplex.iterations_total" /
+  // "lp.simplex.refactorizations_total". Not owned; may be null.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+// Solver effort counters, reported with every Solution so callers (examples,
+// benches, the Optimal bound) can surface them instead of discarding them.
+struct SimplexStats {
+  int64_t iterations = 0;
+  int64_t refactorizations = 0;
+
+  void Accumulate(const SimplexStats& other) {
+    iterations += other.iterations;
+    refactorizations += other.refactorizations;
+  }
 };
 
 struct Solution {
@@ -57,8 +74,7 @@ struct Solution {
   double objective = 0.0;
   std::vector<double> primal;        // structural variable values
   std::vector<double> row_activity;  // Ax
-  int64_t iterations = 0;
-  int64_t refactorizations = 0;
+  SimplexStats stats;
 };
 
 class SimplexSolver {

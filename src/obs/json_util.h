@@ -1,0 +1,23 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Tiny JSON emission helpers shared by the obs exporters. Emission only --
+// the library never needs to parse JSON.
+
+#ifndef VCDN_SRC_OBS_JSON_UTIL_H_
+#define VCDN_SRC_OBS_JSON_UTIL_H_
+
+#include <ostream>
+#include <string_view>
+
+namespace vcdn::obs {
+
+// Writes a quoted, escaped JSON string literal.
+void WriteJsonString(std::ostream& out, std::string_view text);
+
+// Writes a finite double as a JSON number; NaN/inf (not representable in
+// JSON) are written as 0.
+void WriteJsonDouble(std::ostream& out, double value);
+
+}  // namespace vcdn::obs
+
+#endif  // VCDN_SRC_OBS_JSON_UTIL_H_

@@ -1,0 +1,135 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/obs/metrics.h"
+
+#include "src/obs/json_util.h"
+
+namespace vcdn::obs {
+
+Counter MetricsRegistry::GetCounter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<uint64_t>(0)).first;
+  }
+  return Counter(it->second.get());
+}
+
+Gauge MetricsRegistry::GetGauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<double>(0.0)).first;
+  }
+  return Gauge(it->second.get());
+}
+
+Histogram MetricsRegistry::GetHistogram(std::string_view name, double lo, double hi,
+                                        size_t num_buckets) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<util::Histogram>(lo, hi, num_buckets))
+             .first;
+  }
+  return Histogram(it->second.get());
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it != counters_.end() ? *it->second : 0;
+}
+
+double MetricsRegistry::GaugeValue(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it != gauges_.end() ? *it->second : 0.0;
+}
+
+bool MetricsRegistry::Has(std::string_view name) const {
+  return counters_.find(name) != counters_.end() || gauges_.find(name) != gauges_.end() ||
+         histograms_.find(name) != histograms_.end();
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterSamples() const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, cell] : counters_) {
+    out.emplace_back(name, *cell);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::GaugeSamples() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, cell] : gauges_) {
+    out.emplace_back(name, *cell);
+  }
+  return out;
+}
+
+std::vector<MetricsRegistry::HistogramSample> MetricsRegistry::HistogramSamples() const {
+  std::vector<HistogramSample> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSample sample;
+    sample.name = name;
+    sample.lo = hist->bucket_lo(0);
+    sample.hi = hist->bucket_lo(hist->num_buckets());  // == the histogram's upper edge
+    sample.underflow = hist->underflow();
+    sample.overflow = hist->overflow();
+    sample.counts.reserve(hist->num_buckets());
+    for (size_t i = 0; i < hist->num_buckets(); ++i) {
+      sample.counts.push_back(hist->bucket_count(i));
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, cell] : counters_) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    WriteJsonString(out, name);
+    out << ":" << *cell;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, cell] : gauges_) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    WriteJsonString(out, name);
+    out << ":";
+    WriteJsonDouble(out, *cell);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& sample : HistogramSamples()) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    WriteJsonString(out, sample.name);
+    out << ":{\"lo\":";
+    WriteJsonDouble(out, sample.lo);
+    out << ",\"hi\":";
+    WriteJsonDouble(out, sample.hi);
+    out << ",\"underflow\":" << sample.underflow << ",\"overflow\":" << sample.overflow
+        << ",\"counts\":[";
+    for (size_t i = 0; i < sample.counts.size(); ++i) {
+      if (i > 0) {
+        out << ",";
+      }
+      out << sample.counts[i];
+    }
+    out << "]}";
+  }
+  out << "}}";
+}
+
+}  // namespace vcdn::obs

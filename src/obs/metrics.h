@@ -1,0 +1,153 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Unified metrics layer: a MetricsRegistry owns named instruments (Counter,
+// Gauge, fixed-bucket Histogram); components hold cheap handles into it.
+//
+// Design rules (see docs/OBSERVABILITY.md):
+//
+//   * no global state -- a registry is always passed in explicitly;
+//   * zero cost when disabled -- a default-constructed handle is a no-op
+//     (one null-pointer test per operation, no allocation, no branching on
+//     strings), so instrumented hot paths stay hot when nothing is attached;
+//   * stable handles -- instrument cells are heap-allocated once and never
+//     move, so handles stay valid while the registry lives (including across
+//     registry moves);
+//   * deterministic export -- instruments are stored name-sorted, so JSON
+//     dumps and snapshots are byte-stable for a given run.
+//
+// Naming convention: dot-separated lowercase path, "<layer>.<object>.<what>",
+// with counters suffixed "_total" (e.g. "cache.xLRU.filled_chunks_total",
+// "sim.replay.requests_per_sec", "lp.simplex.iterations_total").
+
+#ifndef VCDN_SRC_OBS_METRICS_H_
+#define VCDN_SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace vcdn::obs {
+
+class MetricsRegistry;
+
+// Monotonically increasing integer instrument.
+class Counter {
+ public:
+  Counter() = default;
+
+  void Increment(uint64_t delta = 1) {
+    if (cell_ != nullptr) {
+      *cell_ += delta;
+    }
+  }
+  uint64_t value() const { return cell_ != nullptr ? *cell_ : 0; }
+  bool enabled() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(uint64_t* cell) : cell_(cell) {}
+  uint64_t* cell_ = nullptr;
+};
+
+// Last-value instrument (occupancy, rates, alpha settings, ...).
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void Set(double value) {
+    if (cell_ != nullptr) {
+      *cell_ = value;
+    }
+  }
+  void Add(double delta) {
+    if (cell_ != nullptr) {
+      *cell_ += delta;
+    }
+  }
+  double value() const { return cell_ != nullptr ? *cell_ : 0.0; }
+  bool enabled() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(double* cell) : cell_(cell) {}
+  double* cell_ = nullptr;
+};
+
+// Fixed-bucket distribution instrument over [lo, hi) with underflow/overflow,
+// backed by util::Histogram.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Observe(double value) {
+    if (impl_ != nullptr) {
+      impl_->Add(value);
+    }
+  }
+  bool enabled() const { return impl_ != nullptr; }
+  // Null when disabled.
+  const util::Histogram* data() const { return impl_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(util::Histogram* impl) : impl_(impl) {}
+  util::Histogram* impl_ = nullptr;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(MetricsRegistry&&) = default;
+  MetricsRegistry& operator=(MetricsRegistry&&) = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create by name. Repeated calls with the same name return handles
+  // to the same cell (same-named instruments aggregate).
+  Counter GetCounter(std::string_view name);
+  Gauge GetGauge(std::string_view name);
+  // For an existing name the original bucket layout is kept.
+  Histogram GetHistogram(std::string_view name, double lo, double hi, size_t num_buckets);
+
+  // Point reads, mainly for tests and reporters; 0 for unknown names.
+  uint64_t CounterValue(std::string_view name) const;
+  double GaugeValue(std::string_view name) const;
+  bool Has(std::string_view name) const;
+
+  size_t num_instruments() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // Name-sorted snapshots.
+  std::vector<std::pair<std::string, uint64_t>> CounterSamples() const;
+  std::vector<std::pair<std::string, double>> GaugeSamples() const;
+  struct HistogramSample {
+    std::string name;
+    double lo = 0.0;
+    double hi = 0.0;
+    uint64_t underflow = 0;
+    uint64_t overflow = 0;
+    std::vector<uint64_t> counts;
+  };
+  std::vector<HistogramSample> HistogramSamples() const;
+
+  // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void WriteJson(std::ostream& out) const;
+
+ private:
+  // std::map keeps export order deterministic; unique_ptr keeps cell
+  // addresses stable across rehash-free inserts and registry moves.
+  std::map<std::string, std::unique_ptr<uint64_t>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<double>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<util::Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace vcdn::obs
+
+#endif  // VCDN_SRC_OBS_METRICS_H_

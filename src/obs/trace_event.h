@@ -1,0 +1,129 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Event tracing and profiling hooks: a TraceEventSink accumulates events in
+// the Chrome trace_event JSON format (loadable in chrome://tracing and
+// Perfetto; see docs/OBSERVABILITY.md), and ScopedSpan / VCDN_OBS_SCOPE are
+// RAII wall-clock timers for profiling hot paths.
+//
+// Like the metrics layer, everything is pull-based and nullable: a null sink
+// makes every helper a no-op (a scoped span on a null sink never even reads
+// the clock), so instrumented code costs one pointer test when tracing is
+// off.
+//
+// Event kinds emitted:
+//   * complete spans   ("ph":"X")  -- scoped timers, with microsecond ts/dur
+//     relative to the sink's creation;
+//   * instants         ("ph":"i")  -- point annotations;
+//   * counter samples  ("ph":"C")  -- periodic snapshots of a MetricsRegistry,
+//     which chrome://tracing renders as stacked time series.
+//
+// SnapshotRegistry doubles as the JSONL snapshot stream: when a line stream
+// is attached, each snapshot also appends one self-contained JSON line
+// ({"ts_us":...,"counters":{...},"gauges":{...}}) to it.
+
+#ifndef VCDN_SRC_OBS_TRACE_EVENT_H_
+#define VCDN_SRC_OBS_TRACE_EVENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace vcdn::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';     // 'X' complete, 'i' instant, 'C' counter
+  double ts_us = 0.0;   // microseconds since sink creation
+  double dur_us = 0.0;  // complete events only
+  // Counter events carry one sampled value under this series name.
+  double value = 0.0;
+};
+
+class TraceEventSink {
+ public:
+  TraceEventSink();
+  TraceEventSink(TraceEventSink&&) = default;
+  TraceEventSink& operator=(TraceEventSink&&) = default;
+  TraceEventSink(const TraceEventSink&) = delete;
+  TraceEventSink& operator=(const TraceEventSink&) = delete;
+
+  // Microseconds of wall clock since the sink was created.
+  double NowMicros() const;
+
+  void AddComplete(std::string_view name, std::string_view category, double ts_us, double dur_us);
+  void AddInstant(std::string_view name, std::string_view category);
+  void AddCounter(std::string_view name, double value, double ts_us);
+
+  // Samples every counter and gauge of the registry as 'C' events at
+  // NowMicros(), and appends one JSONL line if a line stream is attached.
+  void SnapshotRegistry(const MetricsRegistry& registry);
+
+  // Attaches a stream that receives one JSON line per SnapshotRegistry call.
+  // The sink does not own the stream; pass nullptr to detach.
+  void AttachSnapshotStream(std::ostream* stream) { snapshot_stream_ = stream; }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t num_events() const { return events_.size(); }
+  // Number of SnapshotRegistry calls so far.
+  uint64_t num_snapshots() const { return num_snapshots_; }
+
+  // Chrome trace object: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  void WriteTraceJson(std::ostream& out) const;
+  // The events array alone, for embedding in a larger JSON object.
+  void WriteTraceEventsArray(std::ostream& out) const;
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+  std::vector<TraceEvent> events_;
+  std::ostream* snapshot_stream_ = nullptr;
+  uint64_t num_snapshots_ = 0;
+};
+
+// RAII wall-clock span: records a complete event over its lifetime. No-op
+// (and clock-free) when the sink is null. `name` and `category` must outlive
+// the span (string literals in practice).
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceEventSink* sink, const char* name, const char* category = "vcdn")
+      : sink_(sink), name_(name), category_(category) {
+    if (sink_ != nullptr) {
+      start_us_ = sink_->NowMicros();
+    }
+  }
+  ~ScopedSpan() {
+    if (sink_ != nullptr) {
+      sink_->AddComplete(name_, category_, start_us_, sink_->NowMicros() - start_us_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceEventSink* sink_;
+  const char* name_;
+  const char* category_;
+  double start_us_ = 0.0;
+};
+
+// Writes the combined observability dump used by the benches' --obs-json
+// flag: a valid Chrome trace object with the metrics registry embedded under
+// a "metrics" key (trace viewers ignore unknown top-level keys). Either
+// pointer may be null; the corresponding section is then empty.
+void WriteObsJson(std::ostream& out, const MetricsRegistry* registry, const TraceEventSink* sink);
+
+#define VCDN_OBS_SCOPE_CONCAT_(a, b) a##b
+#define VCDN_OBS_SCOPE_NAME_(line) VCDN_OBS_SCOPE_CONCAT_(vcdn_obs_scope_, line)
+// Usage: VCDN_OBS_SCOPE(sink_ptr, "replay.loop");  -- sink_ptr may be null.
+#define VCDN_OBS_SCOPE(sink, name) \
+  ::vcdn::obs::ScopedSpan VCDN_OBS_SCOPE_NAME_(__LINE__)((sink), (name))
+
+}  // namespace vcdn::obs
+
+#endif  // VCDN_SRC_OBS_TRACE_EVENT_H_

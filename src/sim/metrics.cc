@@ -42,8 +42,16 @@ double ReplayTotals::Efficiency(const core::CostModel& cost) const {
 }
 
 double ReplayTotals::IngressFraction() const {
-  if (served_bytes == 0) {
+  if (filled_bytes == 0) {
     return 0.0;
+  }
+  if (served_bytes == 0) {
+    // Fills without egress (proactive fills while every request redirected):
+    // the egress-normalized ratio is undefined, so report ingress per
+    // requested byte instead of silently returning 0.
+    return requested_bytes == 0
+               ? 0.0
+               : static_cast<double>(filled_bytes) / static_cast<double>(requested_bytes);
   }
   return static_cast<double>(filled_bytes) / static_cast<double>(served_bytes);
 }

@@ -49,9 +49,12 @@ struct ReplayTotals {
   // Eq. (2) with every quantity measured in chunks, matching the units of
   // the offline Optimal LP (Sec. 7) for Fig. 2 comparisons.
   double ChunkEfficiency(const core::CostModel& cost) const;
-  // Ingress-to-egress fraction in [0, +inf); 0 when nothing served.
+  // Ingress-to-egress fraction in [0, +inf). Edge cases are finite and
+  // NaN-free: 0 when nothing was filled; when fills happened but nothing was
+  // served (proactive fills on an all-redirect run), falls back to requested
+  // bytes as the denominator so the ingress is still visible.
   double IngressFraction() const;
-  // Redirected-bytes fraction of requested bytes.
+  // Redirected-bytes fraction of requested bytes; 0 when nothing requested.
   double RedirectFraction() const;
 };
 

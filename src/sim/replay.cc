@@ -2,25 +2,104 @@
 
 #include "src/sim/replay.h"
 
+#include <chrono>
+#include <cmath>
+
 namespace vcdn::sim {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double SecondsSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+}  // namespace
 
 ReplayResult Replay(core::CacheAlgorithm& cache, const trace::Trace& trace,
                     const ReplayOptions& options) {
   VCDN_CHECK(options.measurement_start_fraction >= 0.0 &&
              options.measurement_start_fraction < 1.0);
-  cache.Prepare(trace);
+
+  if (options.metrics != nullptr) {
+    cache.AttachMetrics(*options.metrics);
+  }
+  {
+    VCDN_OBS_SCOPE(options.trace_sink, "replay.prepare");
+    cache.Prepare(trace);
+  }
 
   MetricsCollector collector(cache.config().chunk_bytes,
                              trace.duration * options.measurement_start_fraction,
                              options.bucket_seconds);
-  for (const trace::Request& request : trace.requests) {
-    core::RequestOutcome outcome = cache.HandleRequest(request);
-    collector.Record(request.arrival_time, outcome);
+
+  // Replay-level instruments; no-ops unless a registry is attached.
+  obs::Counter requests_counter;
+  obs::Counter buckets_counter;
+  obs::Gauge sim_time_gauge;
+  obs::Gauge throughput_gauge;
+  if (options.metrics != nullptr) {
+    requests_counter = options.metrics->GetCounter("sim.replay.requests_total");
+    buckets_counter = options.metrics->GetCounter("sim.replay.buckets_flushed_total");
+    sim_time_gauge = options.metrics->GetGauge("sim.replay.sim_time_seconds");
+    throughput_gauge = options.metrics->GetGauge("sim.replay.requests_per_sec");
+  }
+  const bool observing = options.observer != nullptr || options.trace_sink != nullptr ||
+                         options.metrics != nullptr;
+
+  const SteadyClock::time_point loop_start = SteadyClock::now();
+  uint64_t processed = 0;
+  int64_t current_bucket = -1;
+
+  // Per-bucket flush: gauges, registry snapshot, observer callback.
+  auto flush = [&](double sim_time) {
+    double wall = SecondsSince(loop_start);
+    buckets_counter.Increment();
+    sim_time_gauge.Set(sim_time);
+    throughput_gauge.Set(wall > 0.0 ? static_cast<double>(processed) / wall : 0.0);
+    if (options.trace_sink != nullptr && options.metrics != nullptr) {
+      options.trace_sink->SnapshotRegistry(*options.metrics);
+    }
+    if (options.observer != nullptr) {
+      ReplayProgress progress;
+      progress.requests_processed = processed;
+      progress.total_requests = trace.requests.size();
+      progress.sim_time = sim_time;
+      progress.wall_seconds = wall;
+      progress.requests_per_second = wall > 0.0 ? static_cast<double>(processed) / wall : 0.0;
+      progress.totals = &collector.totals();
+      options.observer->OnBucketEnd(progress);
+    }
+  };
+
+  {
+    VCDN_OBS_SCOPE(options.trace_sink, "replay.loop");
+    for (const trace::Request& request : trace.requests) {
+      if (observing) {
+        auto bucket = static_cast<int64_t>(
+            std::floor(request.arrival_time / options.bucket_seconds));
+        if (current_bucket >= 0 && bucket != current_bucket) {
+          flush(request.arrival_time);
+        }
+        current_bucket = bucket;
+      }
+      core::RequestOutcome outcome = cache.HandleRequest(request);
+      collector.Record(request.arrival_time, outcome);
+      ++processed;
+      requests_counter.Increment();
+    }
   }
 
   ReplayResult result;
   result.cache_name = std::string(cache.name());
   result.alpha_f2r = cache.config().alpha_f2r;
+  result.wall_seconds = SecondsSince(loop_start);
+  result.requests_per_second =
+      result.wall_seconds > 0.0 ? static_cast<double>(processed) / result.wall_seconds : 0.0;
+  if (observing && processed > 0) {
+    flush(trace.requests.back().arrival_time);  // final partial bucket
+  }
   result.totals = collector.totals();
   result.steady = collector.steady();
   result.series = collector.Series();

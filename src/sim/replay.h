@@ -1,20 +1,52 @@
 // Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
 //
 // Trace replay: drives a CacheAlgorithm over a request log and produces the
-// paper's metrics (Sec. 9 methodology).
+// paper's metrics (Sec. 9 methodology). Optionally observable: pass a
+// MetricsRegistry / TraceEventSink / ReplayObserver via ReplayOptions to get
+// live instruments, profiling spans and per-bucket progress callbacks; all
+// three default to off and cost nothing when absent.
 
 #ifndef VCDN_SRC_SIM_REPLAY_H_
 #define VCDN_SRC_SIM_REPLAY_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/core/cache_algorithm.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_event.h"
 #include "src/sim/metrics.h"
 #include "src/trace/request.h"
 
 namespace vcdn::sim {
+
+// Progress snapshot handed to ReplayObserver callbacks. The references point
+// at the replay's live accounting and are only valid during the callback.
+struct ReplayProgress {
+  uint64_t requests_processed = 0;
+  uint64_t total_requests = 0;
+  // Arrival time of the most recently processed request.
+  double sim_time = 0.0;
+  // Wall-clock seconds since the replay loop started, and the resulting
+  // throughput (requests/sec of host time, not simulated time).
+  double wall_seconds = 0.0;
+  double requests_per_second = 0.0;
+  // Running whole-trace totals (warmup included).
+  const ReplayTotals* totals = nullptr;
+};
+
+// Callback interface for streaming replay progress (benches, examples,
+// future dashboards) without touching the replay loop itself.
+class ReplayObserver {
+ public:
+  virtual ~ReplayObserver() = default;
+  // Called once per completed time-series bucket -- i.e. when a request
+  // arrives in a later bucket than its predecessor -- and once more after
+  // the final request. Never called for an empty trace.
+  virtual void OnBucketEnd(const ReplayProgress& progress) = 0;
+};
 
 struct ReplayOptions {
   // Steady-state measurement starts at this fraction of the trace duration
@@ -22,6 +54,16 @@ struct ReplayOptions {
   double measurement_start_fraction = 0.5;
   // Time-series bucket width (Fig. 3 plots are hourly).
   double bucket_seconds = 3600.0;
+
+  // --- observability (all optional) ---
+  // Attached to the cache (AttachMetrics) and to the replay's own
+  // instruments ("sim.replay.*").
+  obs::MetricsRegistry* metrics = nullptr;
+  // Receives scoped-timer spans ("replay.prepare", "replay.loop") and, when
+  // `metrics` is also set, a registry snapshot at every bucket flush.
+  obs::TraceEventSink* trace_sink = nullptr;
+  // Per-bucket progress callbacks.
+  ReplayObserver* observer = nullptr;
 };
 
 struct ReplayResult {
@@ -35,6 +77,11 @@ struct ReplayResult {
   double efficiency = 0.0;
   double ingress_fraction = 0.0;
   double redirect_fraction = 0.0;
+
+  // Wall-clock cost of the replay loop (excluding Prepare) and the resulting
+  // host-time throughput.
+  double wall_seconds = 0.0;
+  double requests_per_second = 0.0;
 };
 
 // Replays the trace through the cache (calling Prepare first). Requests must

@@ -200,6 +200,19 @@ GeneratedWorkload WorkloadGenerator::Generate() {
   }
 
   VCDN_CHECK(trace.IsWellFormed());
+
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& registry = *config_.metrics;
+    registry.GetCounter("workload.generated_requests_total")
+        .Increment(trace.requests.size());
+    registry.GetGauge("workload.catalog_videos")
+        .Set(static_cast<double>(catalog.videos.size()));
+    registry.GetGauge("workload.duration_seconds").Set(trace.duration);
+    registry.GetGauge("workload.arrival_rate_per_sec")
+        .Set(trace.duration > 0.0
+                 ? static_cast<double>(trace.requests.size()) / trace.duration
+                 : 0.0);
+  }
   return out;
 }
 

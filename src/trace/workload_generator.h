@@ -26,6 +26,7 @@
 
 #include <cstdint>
 
+#include "src/obs/metrics.h"
 #include "src/trace/catalog.h"
 #include "src/trace/request.h"
 #include "src/trace/server_profile.h"
@@ -44,6 +45,10 @@ struct WorkloadConfig {
   // Videos whose current demand weight falls below this fraction of their
   // base weight are dropped from the sampling table (dead transients).
   double weight_floor_fraction = 1e-4;
+  // Optional instrument registry: Generate() records the catalog size, the
+  // number of generated requests and the realized arrival rate under
+  // "workload.*". Not owned; may be null.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct GeneratedWorkload {

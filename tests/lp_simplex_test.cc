@@ -308,7 +308,37 @@ TEST(SimplexTest, IterationLimitReported) {
   }
   Solution s = SolveModel(m, options);
   EXPECT_EQ(s.status, SolveStatus::kIterationLimit);
-  EXPECT_EQ(s.iterations, 2);
+  EXPECT_EQ(s.stats.iterations, 2);
+}
+
+TEST(SimplexTest, StatsPopulatedOnOptimalSolve) {
+  Model m;
+  int32_t x = m.AddVariable(0.0, 10.0, -1.0);
+  int32_t y = m.AddVariable(0.0, 10.0, -2.0);
+  int32_t row = m.AddRow(-kLpInfinity, 12.0);
+  m.AddCoefficient(row, x, 1.0);
+  m.AddCoefficient(row, y, 1.0);
+  Solution s = SolveModel(m);
+  EXPECT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_GT(s.stats.iterations, 0);
+  EXPECT_GE(s.stats.refactorizations, 0);
+}
+
+TEST(SimplexTest, SolveAccumulatesRegistryCounters) {
+  obs::MetricsRegistry registry;
+  SimplexOptions options;
+  options.metrics = &registry;
+  Model m;
+  int32_t x = m.AddVariable(0.0, 5.0, -1.0);
+  int32_t row = m.AddRow(-kLpInfinity, 3.0);
+  m.AddCoefficient(row, x, 1.0);
+  Solution first = SolveModel(m, options);
+  EXPECT_EQ(first.status, SolveStatus::kOptimal);
+  Solution second = SolveModel(m, options);
+  EXPECT_EQ(second.status, SolveStatus::kOptimal);
+  EXPECT_EQ(registry.CounterValue("lp.simplex.solves_total"), 2u);
+  EXPECT_EQ(registry.CounterValue("lp.simplex.iterations_total"),
+            static_cast<uint64_t>(first.stats.iterations + second.stats.iterations));
 }
 
 TEST(SimplexTest, EmptyModelIsOptimalZero) {

@@ -1,0 +1,149 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <utility>
+
+namespace vcdn::obs {
+namespace {
+
+TEST(CounterTest, DisabledHandleIsNoOp) {
+  Counter counter;
+  EXPECT_FALSE(counter.enabled());
+  counter.Increment();
+  counter.Increment(100);
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(GaugeTest, DisabledHandleIsNoOp) {
+  Gauge gauge;
+  EXPECT_FALSE(gauge.enabled());
+  gauge.Set(3.5);
+  gauge.Add(1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(HistogramTest, DisabledHandleIsNoOp) {
+  Histogram hist;
+  EXPECT_FALSE(hist.enabled());
+  hist.Observe(1.0);
+  EXPECT_EQ(hist.data(), nullptr);
+}
+
+TEST(MetricsRegistryTest, CounterFindOrCreateAggregates) {
+  MetricsRegistry registry;
+  Counter a = registry.GetCounter("cache.test.requests_total");
+  Counter b = registry.GetCounter("cache.test.requests_total");
+  EXPECT_TRUE(a.enabled());
+  a.Increment(3);
+  b.Increment(4);
+  // Same name -> same cell: both handles see the aggregate.
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(b.value(), 7u);
+  EXPECT_EQ(registry.CounterValue("cache.test.requests_total"), 7u);
+  EXPECT_EQ(registry.num_instruments(), 1u);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge gauge = registry.GetGauge("sim.test.rate");
+  gauge.Set(2.5);
+  gauge.Add(0.5);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("sim.test.rate"), 3.0);
+}
+
+TEST(MetricsRegistryTest, UnknownNamesReadZero) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.CounterValue("nope"), 0u);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("nope"), 0.0);
+  EXPECT_FALSE(registry.Has("nope"));
+}
+
+TEST(MetricsRegistryTest, HandlesSurviveRegistryMove) {
+  MetricsRegistry registry;
+  Counter counter = registry.GetCounter("moved_total");
+  counter.Increment();
+  MetricsRegistry moved = std::move(registry);
+  counter.Increment();
+  EXPECT_EQ(moved.CounterValue("moved_total"), 2u);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketing) {
+  MetricsRegistry registry;
+  // 4 buckets over [0, 8): [0,2) [2,4) [4,6) [6,8).
+  Histogram hist = registry.GetHistogram("h", 0.0, 8.0, 4);
+  ASSERT_TRUE(hist.enabled());
+  hist.Observe(-1.0);  // underflow
+  hist.Observe(0.0);   // bucket 0
+  hist.Observe(1.9);   // bucket 0
+  hist.Observe(2.0);   // bucket 1
+  hist.Observe(7.9);   // bucket 3
+  hist.Observe(8.0);   // overflow (hi is exclusive)
+  hist.Observe(100.0);  // overflow
+
+  auto samples = registry.HistogramSamples();
+  ASSERT_EQ(samples.size(), 1u);
+  const auto& s = samples[0];
+  EXPECT_EQ(s.name, "h");
+  EXPECT_DOUBLE_EQ(s.lo, 0.0);
+  EXPECT_DOUBLE_EQ(s.hi, 8.0);
+  EXPECT_EQ(s.underflow, 1u);
+  EXPECT_EQ(s.overflow, 2u);
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 0u);
+  EXPECT_EQ(s.counts[3], 1u);
+}
+
+TEST(MetricsRegistryTest, HistogramKeepsOriginalLayoutOnRelookup) {
+  MetricsRegistry registry;
+  Histogram first = registry.GetHistogram("h", 0.0, 10.0, 5);
+  // A second lookup with different parameters must not reshape the buckets.
+  Histogram second = registry.GetHistogram("h", 0.0, 100.0, 50);
+  first.Observe(9.0);
+  second.Observe(9.0);
+  auto samples = registry.HistogramSamples();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(samples[0].hi, 10.0);
+  ASSERT_EQ(samples[0].counts.size(), 5u);
+  EXPECT_EQ(samples[0].counts[4], 2u);
+}
+
+TEST(MetricsRegistryTest, SamplesAreNameSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta_total");
+  registry.GetCounter("alpha_total");
+  registry.GetCounter("mid_total");
+  auto samples = registry.CounterSamples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].first, "alpha_total");
+  EXPECT_EQ(samples[1].first, "mid_total");
+  EXPECT_EQ(samples[2].first, "zeta_total");
+}
+
+TEST(MetricsRegistryTest, WriteJsonIsDeterministic) {
+  auto build = [] {
+    MetricsRegistry registry;
+    registry.GetCounter("b_total").Increment(2);
+    registry.GetCounter("a_total").Increment(1);
+    registry.GetGauge("g").Set(1.5);
+    registry.GetHistogram("h", 0.0, 4.0, 2).Observe(1.0);
+    std::ostringstream out;
+    registry.WriteJson(out);
+    return out.str();
+  };
+  std::string first = build();
+  EXPECT_EQ(first, build());
+  // Counters appear name-sorted regardless of creation order.
+  EXPECT_LT(first.find("\"a_total\""), first.find("\"b_total\""));
+  EXPECT_NE(first.find("\"counters\""), std::string::npos);
+  EXPECT_NE(first.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(first.find("\"histograms\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vcdn::obs

@@ -95,6 +95,54 @@ TEST(ReplayTotalsTest, EmptyTotalsAreZeroNotNan) {
   EXPECT_EQ(t.RedirectFraction(), 0.0);
 }
 
+TEST(ReplayTotalsTest, IngressVisibleWithFillsButNoEgress) {
+  // Proactive fills on an all-redirect run: served_bytes == 0 but ingress
+  // happened. The fraction must stay finite and non-zero (normalized by
+  // requested bytes when there is no egress to normalize by).
+  ReplayTotals t;
+  t.requested_bytes = 4000;
+  t.redirected_bytes = 4000;
+  t.filled_bytes = 2000;
+  EXPECT_DOUBLE_EQ(t.IngressFraction(), 0.5);
+  EXPECT_DOUBLE_EQ(t.RedirectFraction(), 1.0);
+
+  // Fills with neither served nor requested bytes still read 0, not NaN.
+  ReplayTotals orphan;
+  orphan.filled_bytes = 1000;
+  EXPECT_DOUBLE_EQ(orphan.IngressFraction(), 0.0);
+}
+
+TEST(MetricsCollectorTest, EmptyTraceProducesNoBucketsAndZeroTotals) {
+  MetricsCollector collector(1024, /*measurement_start=*/0.0, /*bucket_seconds=*/10.0);
+  EXPECT_EQ(collector.totals().requests, 0u);
+  EXPECT_EQ(collector.steady().requests, 0u);
+  EXPECT_TRUE(collector.Series().empty());
+  EXPECT_EQ(collector.totals().IngressFraction(), 0.0);
+  EXPECT_EQ(collector.totals().RedirectFraction(), 0.0);
+}
+
+TEST(MetricsCollectorTest, WarmupOnlyTraceKeepsSteadyTotalsZero) {
+  // Every request arrives before the measurement window opens.
+  MetricsCollector collector(1024, /*measurement_start=*/100.0, /*bucket_seconds=*/10.0);
+  collector.Record(1.0, Serve(2048, 2, 2, 0));
+  collector.Record(50.0, Redirect(1024, 1));
+  EXPECT_EQ(collector.totals().requests, 2u);
+  EXPECT_EQ(collector.steady().requests, 0u);
+  EXPECT_EQ(collector.steady().requested_bytes, 0u);
+  EXPECT_EQ(collector.steady().IngressFraction(), 0.0);
+  EXPECT_EQ(collector.steady().RedirectFraction(), 0.0);
+  // Series covers only the buckets actually touched (t=1 and t=50), not the
+  // empty measurement window after them.
+  auto series = collector.Series();
+  ASSERT_FALSE(series.empty());
+  EXPECT_LE(series.back().bucket_start, 50.0);
+  uint64_t series_requested = 0;
+  for (const auto& p : series) {
+    series_requested += p.requested_bytes;
+  }
+  EXPECT_EQ(series_requested, collector.totals().requested_bytes);
+}
+
 TEST(ReplayTotalsTest, AlphaChangesEfficiencyOfSameTraffic) {
   ReplayTotals t;
   t.requested_bytes = 1000;

@@ -4,8 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/core/baseline_caches.h"
+#include "src/core/cafe_cache.h"
 #include "src/core/xlru_cache.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_event.h"
 #include "tests/cache_test_util.h"
 
 namespace vcdn::sim {
@@ -118,6 +123,122 @@ TEST(ReplayTest, XlruEndToEndOnSyntheticPattern) {
             result.totals.requested_bytes);
   EXPECT_GT(result.efficiency, 0.0);
   EXPECT_EQ(result.alpha_f2r, 2.0);
+}
+
+// Records every OnBucketEnd call for cadence assertions.
+class RecordingObserver : public ReplayObserver {
+ public:
+  void OnBucketEnd(const ReplayProgress& progress) override {
+    processed_.push_back(progress.requests_processed);
+    sim_times_.push_back(progress.sim_time);
+    total_requests_ = progress.total_requests;
+    last_totals_requests_ = progress.totals != nullptr ? progress.totals->requests : 0;
+  }
+
+  const std::vector<uint64_t>& processed() const { return processed_; }
+  const std::vector<double>& sim_times() const { return sim_times_; }
+  uint64_t total_requests() const { return total_requests_; }
+  uint64_t last_totals_requests() const { return last_totals_requests_; }
+
+ private:
+  std::vector<uint64_t> processed_;
+  std::vector<double> sim_times_;
+  uint64_t total_requests_ = 0;
+  uint64_t last_totals_requests_ = 0;
+};
+
+TEST(ReplayObserverTest, CalledOncePerBucketPlusFinal) {
+  // Buckets of 10s; requests land in buckets 0, 0, 2, 5 -> two interior
+  // boundary crossings plus the final flush = 3 callbacks.
+  trace::Trace trace =
+      MakeTrace({{1.0, 1, 0, 0}, {2.0, 1, 0, 0}, {25.0, 1, 0, 0}, {51.0, 2, 0, 0}});
+  trace.duration = 60.0;
+  core::AlwaysFillLruCache cache(SmallConfig(10, 1.0));
+  RecordingObserver observer;
+  ReplayOptions options;
+  options.bucket_seconds = 10.0;
+  options.observer = &observer;
+  Replay(cache, trace, options);
+
+  ASSERT_EQ(observer.processed().size(), 3u);
+  // First flush happens when t=25 arrives: 2 requests processed so far.
+  EXPECT_EQ(observer.processed()[0], 2u);
+  EXPECT_EQ(observer.processed()[1], 3u);
+  EXPECT_EQ(observer.processed()[2], 4u);
+  EXPECT_EQ(observer.total_requests(), 4u);
+  EXPECT_EQ(observer.last_totals_requests(), 4u);
+  EXPECT_DOUBLE_EQ(observer.sim_times().back(), 51.0);
+}
+
+TEST(ReplayObserverTest, NeverCalledForEmptyTrace) {
+  trace::Trace trace;
+  trace.duration = 0.0;
+  core::AlwaysFillLruCache cache(SmallConfig(10, 1.0));
+  RecordingObserver observer;
+  obs::MetricsRegistry registry;
+  ReplayOptions options;
+  options.measurement_start_fraction = 0.0;
+  options.observer = &observer;
+  options.metrics = &registry;
+  ReplayResult result = Replay(cache, trace, options);
+  EXPECT_TRUE(observer.processed().empty());
+  EXPECT_EQ(result.totals.requests, 0u);
+  EXPECT_EQ(registry.CounterValue("sim.replay.requests_total"), 0u);
+  EXPECT_EQ(registry.CounterValue("sim.replay.buckets_flushed_total"), 0u);
+}
+
+TEST(ReplayObsTest, RegistryCountersMatchReplayTotals) {
+  // Busy mixed workload on a small cache so fills, hits, redirects and
+  // evictions all occur; the registry must agree with ReplayTotals exactly.
+  std::vector<ChunkReq> reqs;
+  double t = 0.0;
+  for (int round = 0; round < 200; ++round) {
+    t += 1.0;
+    reqs.push_back({t, static_cast<trace::VideoId>(round % 7), 0, 3});
+    reqs.push_back({t + 0.25, static_cast<trace::VideoId>(50 + round), 0, 5});
+  }
+  trace::Trace trace = MakeTrace(reqs);
+  core::AlwaysFillLruCache cache(SmallConfig(24, 2.0));
+  obs::MetricsRegistry registry;
+  ReplayOptions options;
+  options.metrics = &registry;
+  options.bucket_seconds = 20.0;
+  ReplayResult result = Replay(cache, trace, options);
+
+  const std::string p = "cache.FillLRU.";
+  EXPECT_EQ(registry.CounterValue(p + "requests_total"), result.totals.requests);
+  EXPECT_EQ(registry.CounterValue(p + "served_total"), result.totals.served_requests);
+  EXPECT_EQ(registry.CounterValue(p + "redirected_total"), result.totals.redirected_requests);
+  EXPECT_EQ(registry.CounterValue(p + "filled_chunks_total"), result.totals.filled_chunks);
+  EXPECT_EQ(registry.CounterValue(p + "proactive_filled_chunks_total"),
+            result.totals.proactive_filled_chunks);
+  EXPECT_EQ(registry.CounterValue(p + "evicted_chunks_total"), result.totals.evicted_chunks);
+  EXPECT_GT(result.totals.evicted_chunks, 0u);
+  EXPECT_EQ(registry.CounterValue("sim.replay.requests_total"), result.totals.requests);
+  EXPECT_GT(registry.GaugeValue(p + "used_chunks"), 0.0);
+}
+
+TEST(ReplayObsTest, TraceSinkRecordsSpansAndSnapshots) {
+  trace::Trace trace = MakeTrace({{1.0, 1, 0, 1}, {4000.0, 1, 0, 1}});
+  trace.duration = 7200.0;
+  core::AlwaysFillLruCache cache(SmallConfig(10, 1.0));
+  obs::MetricsRegistry registry;
+  obs::TraceEventSink sink;
+  ReplayOptions options;
+  options.metrics = &registry;
+  options.trace_sink = &sink;
+  Replay(cache, trace, options);
+
+  bool saw_prepare = false;
+  bool saw_loop = false;
+  for (const obs::TraceEvent& e : sink.events()) {
+    saw_prepare = saw_prepare || (e.phase == 'X' && e.name == "replay.prepare");
+    saw_loop = saw_loop || (e.phase == 'X' && e.name == "replay.loop");
+  }
+  EXPECT_TRUE(saw_prepare);
+  EXPECT_TRUE(saw_loop);
+  // One snapshot per bucket flush: the interior boundary plus the final one.
+  EXPECT_EQ(sink.num_snapshots(), 2u);
 }
 
 }  // namespace
