@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "src/util/check.h"
+#include "src/util/rng.h"
 #include "src/util/str_util.h"
 
 namespace vcdn::bench {
@@ -36,6 +38,27 @@ BenchScale ScaleFromEnv() {
   return scale;
 }
 
+BenchFlags FlagsFromArgs(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i + 1 < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg != "--threads" && arg != "--repeat") {
+      continue;
+    }
+    uint64_t parsed = 0;
+    if (!util::ParseUint64(argv[i + 1], &parsed)) {
+      std::fprintf(stderr, "warning: ignoring invalid %s %s\n", arg.c_str(), argv[i + 1]);
+      continue;
+    }
+    if (arg == "--threads") {
+      flags.threads = static_cast<size_t>(parsed);
+    } else {
+      flags.repeat = std::max<size_t>(1, static_cast<size_t>(parsed));
+    }
+  }
+  return flags;
+}
+
 trace::Trace MakeServerTrace(trace::ServerProfile profile, const BenchScale& scale) {
   trace::WorkloadConfig config;
   config.profile = std::move(profile);
@@ -46,6 +69,27 @@ trace::Trace MakeServerTrace(trace::ServerProfile profile, const BenchScale& sca
 
 trace::Trace MakeEuropeTrace(const BenchScale& scale) {
   return MakeServerTrace(trace::EuropeProfile(scale.workload_scale), scale);
+}
+
+std::vector<trace::Trace> MakeServerTraces(const std::vector<trace::ServerProfile>& profiles,
+                                           const BenchScale& scale, const BenchFlags& flags) {
+  std::vector<trace::WorkloadConfig> configs;
+  configs.reserve(profiles.size());
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    trace::WorkloadConfig config;
+    config.profile = profiles[i];
+    config.seed = util::SplitSeed(scale.seed, i);
+    config.duration_seconds = scale.duration_seconds();
+    configs.push_back(std::move(config));
+  }
+  trace::ParallelGenerateOptions options;
+  options.threads = flags.threads;
+  std::vector<trace::Trace> traces;
+  traces.reserve(profiles.size());
+  for (trace::GeneratedWorkload& workload : trace::GenerateWorkloads(configs, options)) {
+    traces.push_back(std::move(workload.trace));
+  }
+  return traces;
 }
 
 core::CacheConfig PaperConfig(double paper_terabytes, double alpha, const BenchScale& scale) {
@@ -88,6 +132,39 @@ sim::ReplayResult RunCache(core::CacheKind kind, const trace::Trace& trace,
     options.trace_sink = obs->trace_sink();
   }
   return sim::Replay(*cache, trace, options);
+}
+
+std::vector<sim::ReplayResult> RunCacheJobs(const std::vector<CacheJob>& jobs,
+                                            const BenchFlags& flags, BenchObs* obs) {
+  std::vector<sim::FleetServer> servers;
+  servers.reserve(jobs.size());
+  for (const CacheJob& job : jobs) {
+    servers.push_back(sim::FleetServer{job.name, job.kind, job.config, job.trace});
+  }
+
+  sim::FleetResult fleet;
+  uint64_t digest = 0;
+  for (size_t k = 0; k < flags.repeat; ++k) {
+    sim::FleetOptions options;
+    options.threads = flags.threads;
+    if (k + 1 == flags.repeat && obs != nullptr && obs->enabled()) {
+      options.replay.metrics = obs->metrics();
+      options.replay.trace_sink = obs->trace_sink();
+    }
+    fleet = sim::RunFleet(servers, options);
+    uint64_t d = sim::FleetDigest(fleet);
+    if (k == 0) {
+      digest = d;
+    } else {
+      VCDN_CHECK(d == digest);  // repeats of a deterministic fleet must agree
+    }
+  }
+  std::printf("Fleet: %zu jobs on %zu thread%s, %.2fs wall%s, digest %016llx\n", jobs.size(),
+              fleet.threads, fleet.threads == 1 ? "" : "s", fleet.wall_seconds,
+              flags.repeat > 1 ? (" (last of " + std::to_string(flags.repeat) + " repeats)").c_str()
+                               : "",
+              static_cast<unsigned long long>(digest));
+  return std::move(fleet.servers);
 }
 
 void PrintHeader(const std::string& experiment, const std::string& paper_claim,

@@ -24,11 +24,13 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/core/cache_algorithm.h"
 #include "src/core/cache_factory.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_event.h"
+#include "src/sim/parallel_fleet.h"
 #include "src/sim/replay.h"
 #include "src/trace/server_profile.h"
 #include "src/trace/workload_generator.h"
@@ -49,6 +51,22 @@ struct BenchScale {
 
 // Reads the scale from the environment (defaults above).
 BenchScale ScaleFromEnv();
+
+// Command-line flags shared by the experiment binaries:
+//
+//   --threads N   worker threads for the fleet-parallel stages (trace
+//                 generation, independent replays). 0 = hardware concurrency
+//                 (the default), 1 = sequential on the calling thread.
+//   --repeat K    run the replay stage K times (timing stability / soak).
+//                 All repeats must produce the same FleetDigest; only the
+//                 last records into --obs-json instruments.
+//
+// Unknown flags are ignored (each bench may define more).
+struct BenchFlags {
+  size_t threads = 0;
+  size_t repeat = 1;
+};
+BenchFlags FlagsFromArgs(int argc, char** argv);
 
 // Optional observability sink shared by the experiment binaries.
 //
@@ -92,6 +110,13 @@ trace::Trace MakeServerTrace(trace::ServerProfile profile, const BenchScale& sca
 // The Europe trace used by Figs. 3-6.
 trace::Trace MakeEuropeTrace(const BenchScale& scale);
 
+// Generates one trace per profile, in parallel across flags.threads workers.
+// Server i draws from the decorrelated RNG stream util::SplitSeed(scale.seed,
+// i) -- the servers stay distinct workloads under a single seed knob, and
+// the result is identical for any thread count.
+std::vector<trace::Trace> MakeServerTraces(const std::vector<trace::ServerProfile>& profiles,
+                                           const BenchScale& scale, const BenchFlags& flags);
+
 // Cache config in "paper units": disk quoted in paper-TB.
 core::CacheConfig PaperConfig(double paper_terabytes, double alpha, const BenchScale& scale);
 
@@ -99,6 +124,23 @@ core::CacheConfig PaperConfig(double paper_terabytes, double alpha, const BenchS
 // is non-null and enabled, the replay records into its registry/trace sink.
 sim::ReplayResult RunCache(core::CacheKind kind, const trace::Trace& trace,
                            const core::CacheConfig& config, BenchObs* obs = nullptr);
+
+// One independent replay job (a cache kind x config on a trace). Traces are
+// not owned and may be shared between jobs.
+struct CacheJob {
+  std::string name;
+  core::CacheKind kind = core::CacheKind::kCafe;
+  core::CacheConfig config;
+  const trace::Trace* trace = nullptr;
+};
+
+// Replays the jobs as a sim::RunFleet fleet across flags.threads workers,
+// flags.repeat times (the repeats must agree on the FleetDigest; only the
+// last one records into `obs`). Prints a one-line summary -- wall seconds,
+// thread count, digest -- and returns the per-job results in job order,
+// identical for any thread count.
+std::vector<sim::ReplayResult> RunCacheJobs(const std::vector<CacheJob>& jobs,
+                                            const BenchFlags& flags, BenchObs* obs = nullptr);
 
 // Prints the experiment banner: figure id, what the paper reported, and the
 // scale in effect.

@@ -46,6 +46,7 @@ size_t EnvSize(const char* name, size_t fallback) {
 int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
   bench::BenchObs obs(argc, argv);
   size_t num_files = EnvSize("VCDN_FIG2_FILES", 40);
   size_t max_requests = EnvSize("VCDN_FIG2_REQUESTS", 160);
@@ -64,11 +65,16 @@ int main(int argc, char** argv) {
   std::vector<util::StatAccumulator> psychic_avg(4);
   std::vector<util::StatAccumulator> optimal_avg(4);
 
-  for (const trace::ServerProfile& profile : trace::PaperServerProfiles(scale.workload_scale)) {
-    // Two days of this server's trace (synthetic stand-in for the logs).
-    bench::BenchScale two_days = scale;
-    two_days.days = 2.0;
-    trace::Trace full = bench::MakeServerTrace(profile, two_days);
+  // Two days of each server's trace (synthetic stand-in for the logs),
+  // generated in parallel across --threads workers.
+  bench::BenchScale two_days = scale;
+  two_days.days = 2.0;
+  std::vector<trace::ServerProfile> profiles = trace::PaperServerProfiles(scale.workload_scale);
+  std::vector<trace::Trace> two_day_traces = bench::MakeServerTraces(profiles, two_days, flags);
+
+  for (size_t s = 0; s < profiles.size(); ++s) {
+    const trace::ServerProfile& profile = profiles[s];
+    trace::Trace& full = two_day_traces[s];
 
     trace::DownsampleOptions options;
     options.window_seconds = 2.0 * 86400.0;
@@ -158,8 +164,6 @@ int main(int argc, char** argv) {
   // branch-and-bound IP on a further-reduced instance.
   std::printf("\nIntegrality gap spot-check (exact IP vs LP relaxation, tiny instance):\n");
   {
-    bench::BenchScale two_days = scale;
-    two_days.days = 2.0;
     trace::Trace full =
         bench::MakeServerTrace(trace::EuropeProfile(scale.workload_scale), two_days);
     trace::DownsampleOptions options;

@@ -64,6 +64,7 @@ void WriteSeriesCsv(const std::vector<vcdn::sim::ReplayResult>& results, const c
 int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
   bench::BenchObs obs(argc, argv);
   bench::PrintHeader(
       "Figure 3: ingress / redirection / efficiency time series (Europe, 1 TB, alpha=2)",
@@ -74,10 +75,11 @@ int main(int argc, char** argv) {
   trace::Trace trace = bench::MakeEuropeTrace(scale);
   core::CacheConfig config = bench::PaperConfig(1.0, 2.0, scale);
 
-  std::vector<sim::ReplayResult> results;
+  std::vector<bench::CacheJob> jobs;
   for (auto kind : {core::CacheKind::kXlru, core::CacheKind::kCafe, core::CacheKind::kPsychic}) {
-    results.push_back(bench::RunCache(kind, trace, config, &obs));
+    jobs.push_back(bench::CacheJob{"europe", kind, config, &trace});
   }
+  std::vector<sim::ReplayResult> results = bench::RunCacheJobs(jobs, flags, &obs);
 
   std::printf("\nSteady-state averages (second half of the month):\n");
   util::TextTable summary({"cache", "efficiency", "ingress %", "redirect %", "delta eff vs xLRU"});

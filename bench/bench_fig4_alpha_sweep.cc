@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
   bench::BenchObs obs(argc, argv);
   bench::PrintHeader(
       "Figure 4: efficiency vs alpha_F2R (Europe, 1 TB)",
@@ -28,14 +29,27 @@ int main(int argc, char** argv) {
               trace.requests.size(), trace.DistinctVideos(),
               util::HumanBytes(trace.TotalRequestedBytes()).c_str());
 
+  // The 4 alphas x 3 algorithms are independent replays of one shared trace;
+  // run them as a fleet.
+  const double alphas[] = {0.5, 1.0, 2.0, 4.0};
+  const core::CacheKind kinds[] = {core::CacheKind::kXlru, core::CacheKind::kCafe,
+                                   core::CacheKind::kPsychic};
+  std::vector<bench::CacheJob> jobs;
+  for (double alpha : alphas) {
+    for (core::CacheKind kind : kinds) {
+      jobs.push_back(bench::CacheJob{"alpha" + util::FormatDouble(alpha, 2), kind,
+                                     bench::PaperConfig(1.0, alpha, scale), &trace});
+    }
+  }
+  std::vector<sim::ReplayResult> results = bench::RunCacheJobs(jobs, flags, &obs);
+
   util::TextTable table({"alpha_F2R", "xLRU eff", "Cafe eff", "Psychic eff", "Cafe-xLRU",
                          "Psychic-xLRU"});
-  for (double alpha : {0.5, 1.0, 2.0, 4.0}) {
-    core::CacheConfig config = bench::PaperConfig(1.0, alpha, scale);
-    sim::ReplayResult xlru = bench::RunCache(core::CacheKind::kXlru, trace, config, &obs);
-    sim::ReplayResult cafe = bench::RunCache(core::CacheKind::kCafe, trace, config, &obs);
-    sim::ReplayResult psychic = bench::RunCache(core::CacheKind::kPsychic, trace, config, &obs);
-    table.AddRow({util::FormatDouble(alpha, 2), util::FormatPercent(xlru.efficiency),
+  for (size_t a = 0; a < 4; ++a) {
+    const sim::ReplayResult& xlru = results[a * 3];
+    const sim::ReplayResult& cafe = results[a * 3 + 1];
+    const sim::ReplayResult& psychic = results[a * 3 + 2];
+    table.AddRow({util::FormatDouble(alphas[a], 2), util::FormatPercent(xlru.efficiency),
                   util::FormatPercent(cafe.efficiency), util::FormatPercent(psychic.efficiency),
                   util::FormatPercent(cafe.efficiency - xlru.efficiency),
                   util::FormatPercent(psychic.efficiency - xlru.efficiency)});

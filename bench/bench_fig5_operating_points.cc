@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
   bench::BenchObs obs(argc, argv);
   bench::PrintHeader(
       "Figure 5: operating points (ingress% vs redirect%) for alpha in {4,2,1,0.5}",
@@ -27,12 +28,23 @@ int main(int argc, char** argv) {
 
   trace::Trace trace = bench::MakeEuropeTrace(scale);
 
+  const double alphas[] = {4.0, 2.0, 1.0, 0.5};
+  const core::CacheKind kinds[] = {core::CacheKind::kXlru, core::CacheKind::kCafe,
+                                   core::CacheKind::kPsychic};
+  std::vector<bench::CacheJob> jobs;
+  for (double alpha : alphas) {
+    for (core::CacheKind kind : kinds) {
+      jobs.push_back(bench::CacheJob{"alpha" + util::FormatDouble(alpha, 2), kind,
+                                     bench::PaperConfig(1.0, alpha, scale), &trace});
+    }
+  }
+  std::vector<sim::ReplayResult> results = bench::RunCacheJobs(jobs, flags, &obs);
+
   util::TextTable table({"alpha_F2R", "cache", "ingress %", "redirect %", "efficiency"});
-  for (double alpha : {4.0, 2.0, 1.0, 0.5}) {
-    core::CacheConfig config = bench::PaperConfig(1.0, alpha, scale);
-    for (auto kind : {core::CacheKind::kXlru, core::CacheKind::kCafe, core::CacheKind::kPsychic}) {
-      sim::ReplayResult r = bench::RunCache(kind, trace, config, &obs);
-      table.AddRow({util::FormatDouble(alpha, 2), r.cache_name,
+  for (size_t a = 0; a < 4; ++a) {
+    for (size_t k = 0; k < 3; ++k) {
+      const sim::ReplayResult& r = results[a * 3 + k];
+      table.AddRow({util::FormatDouble(alphas[a], 2), r.cache_name,
                     util::FormatPercent(r.ingress_fraction),
                     util::FormatPercent(r.redirect_fraction), util::FormatPercent(r.efficiency)});
     }
@@ -40,9 +52,8 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.ToString().c_str());
 
   std::printf("Shape checks:\n");
-  core::CacheConfig config4 = bench::PaperConfig(1.0, 4.0, scale);
-  sim::ReplayResult xlru4 = bench::RunCache(core::CacheKind::kXlru, trace, config4, &obs);
-  sim::ReplayResult cafe4 = bench::RunCache(core::CacheKind::kCafe, trace, config4, &obs);
+  const sim::ReplayResult& xlru4 = results[0];  // alpha=4 is the first job row
+  const sim::ReplayResult& cafe4 = results[1];
   std::printf("  xLRU ingress floor at alpha=4:   %s (paper: ~15%%)\n",
               util::FormatPercent(xlru4.ingress_fraction).c_str());
   std::printf("  Cafe ingress at alpha=4:         %s (paper: a few %%)\n",

@@ -36,6 +36,7 @@ double DiskToReach(const std::vector<double>& disks, const std::vector<double>& 
 int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
   bench::BenchObs obs(argc, argv);
   bench::PrintHeader(
       "Figure 6: efficiency vs disk capacity (Europe, alpha=2)",
@@ -45,20 +46,30 @@ int main(int argc, char** argv) {
 
   trace::Trace trace = bench::MakeEuropeTrace(scale);
   const std::vector<double> paper_tb = {0.25, 0.5, 1.0, 2.0, 4.0};
+  const core::CacheKind kinds[] = {core::CacheKind::kXlru, core::CacheKind::kCafe,
+                                   core::CacheKind::kPsychic};
 
   for (double alpha : {2.0, 1.0}) {
     std::printf("\n--- alpha_F2R = %.1f ---\n", alpha);
+    std::vector<bench::CacheJob> jobs;
+    for (double tb : paper_tb) {
+      for (core::CacheKind kind : kinds) {
+        jobs.push_back(bench::CacheJob{"disk" + util::FormatDouble(tb, 2), kind,
+                                       bench::PaperConfig(tb, alpha, scale), &trace});
+      }
+    }
+    std::vector<sim::ReplayResult> results = bench::RunCacheJobs(jobs, flags, &obs);
+
     util::TextTable table({"disk (paper TB)", "chunks", "xLRU", "Cafe", "Psychic"});
     std::vector<double> xlru_eff;
     std::vector<double> cafe_eff;
-    for (double tb : paper_tb) {
-      core::CacheConfig config = bench::PaperConfig(tb, alpha, scale);
-      sim::ReplayResult xlru = bench::RunCache(core::CacheKind::kXlru, trace, config, &obs);
-      sim::ReplayResult cafe = bench::RunCache(core::CacheKind::kCafe, trace, config, &obs);
-      sim::ReplayResult psychic = bench::RunCache(core::CacheKind::kPsychic, trace, config, &obs);
+    for (size_t d = 0; d < paper_tb.size(); ++d) {
+      const sim::ReplayResult& xlru = results[d * 3];
+      const sim::ReplayResult& cafe = results[d * 3 + 1];
+      const sim::ReplayResult& psychic = results[d * 3 + 2];
       xlru_eff.push_back(xlru.efficiency);
       cafe_eff.push_back(cafe.efficiency);
-      table.AddRow({util::FormatDouble(tb, 2), std::to_string(config.disk_capacity_chunks),
+      table.AddRow({util::FormatDouble(paper_tb[d], 2), std::to_string(jobs[d * 3].config.disk_capacity_chunks),
                     util::FormatPercent(xlru.efficiency), util::FormatPercent(cafe.efficiency),
                     util::FormatPercent(psychic.efficiency)});
     }

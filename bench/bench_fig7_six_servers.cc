@@ -10,6 +10,7 @@
 // server the least, with the widest xLRU gap).
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/util/str_util.h"
@@ -17,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
   bench::BenchObs obs(argc, argv);
   bench::PrintHeader(
       "Figure 7: efficiency across six servers (1 TB, alpha=2)",
@@ -25,28 +27,43 @@ int main(int argc, char** argv) {
       scale);
 
   core::CacheConfig config = bench::PaperConfig(1.0, 2.0, scale);
+
+  // Generate the six server traces and replay the 18 independent
+  // (server x algorithm) jobs across the worker pool; results are identical
+  // for any --threads value.
+  std::vector<trace::ServerProfile> profiles = trace::PaperServerProfiles(scale.workload_scale);
+  std::vector<trace::Trace> traces = bench::MakeServerTraces(profiles, scale, flags);
+
+  const core::CacheKind kinds[] = {core::CacheKind::kXlru, core::CacheKind::kCafe,
+                                   core::CacheKind::kPsychic};
+  std::vector<bench::CacheJob> jobs;
+  for (size_t s = 0; s < profiles.size(); ++s) {
+    for (core::CacheKind kind : kinds) {
+      jobs.push_back(bench::CacheJob{profiles[s].name, kind, config, &traces[s]});
+    }
+  }
+  std::vector<sim::ReplayResult> results = bench::RunCacheJobs(jobs, flags, &obs);
+
   util::TextTable table(
       {"server", "requests", "xLRU", "Cafe", "Psychic", "Cafe-xLRU", "Psy-xLRU"});
-
   double asia_cafe = 0.0;
   double sa_cafe = 0.0;
   double sa_gap = 0.0;
   double asia_gap = 0.0;
-  for (const trace::ServerProfile& profile : trace::PaperServerProfiles(scale.workload_scale)) {
-    trace::Trace trace = bench::MakeServerTrace(profile, scale);
-    sim::ReplayResult xlru = bench::RunCache(core::CacheKind::kXlru, trace, config, &obs);
-    sim::ReplayResult cafe = bench::RunCache(core::CacheKind::kCafe, trace, config, &obs);
-    sim::ReplayResult psychic = bench::RunCache(core::CacheKind::kPsychic, trace, config, &obs);
-    table.AddRow({profile.name, std::to_string(trace.requests.size()),
+  for (size_t s = 0; s < profiles.size(); ++s) {
+    const sim::ReplayResult& xlru = results[s * 3];
+    const sim::ReplayResult& cafe = results[s * 3 + 1];
+    const sim::ReplayResult& psychic = results[s * 3 + 2];
+    table.AddRow({profiles[s].name, std::to_string(traces[s].requests.size()),
                   util::FormatPercent(xlru.efficiency), util::FormatPercent(cafe.efficiency),
                   util::FormatPercent(psychic.efficiency),
                   util::FormatPercent(cafe.efficiency - xlru.efficiency),
                   util::FormatPercent(psychic.efficiency - xlru.efficiency)});
-    if (profile.name == "Asia") {
+    if (profiles[s].name == "Asia") {
       asia_cafe = cafe.efficiency;
       asia_gap = cafe.efficiency - xlru.efficiency;
     }
-    if (profile.name == "SouthAmerica") {
+    if (profiles[s].name == "SouthAmerica") {
       sa_cafe = cafe.efficiency;
       sa_gap = cafe.efficiency - xlru.efficiency;
     }

@@ -10,6 +10,7 @@
 // much user demand each tier absorbs and what reaches the origin.
 //
 // Usage: hierarchy_sim [--edge-cache xlru|cafe] [--days N] [--scale X]
+//                      [--seed S] [--threads N]
 
 #include <cstdio>
 #include <string>
@@ -17,6 +18,7 @@
 #include "src/sim/hierarchy.h"
 #include "src/trace/server_profile.h"
 #include "src/trace/workload_generator.h"
+#include "src/util/rng.h"
 #include "src/util/str_util.h"
 
 int main(int argc, char** argv) {
@@ -24,6 +26,8 @@ int main(int argc, char** argv) {
   std::string edge_cache = "cafe";
   double days = 10.0;
   double scale = 0.08;
+  uint64_t seed = 1;
+  uint64_t threads = 0;  // hardware concurrency
   for (int i = 1; i + 1 < argc; i += 2) {
     std::string flag = argv[i];
     std::string value = argv[i + 1];
@@ -33,23 +37,36 @@ int main(int argc, char** argv) {
       util::ParseDouble(value, &days);
     } else if (flag == "--scale") {
       util::ParseDouble(value, &scale);
+    } else if (flag == "--seed") {
+      util::ParseUint64(value, &seed);
+    } else if (flag == "--threads") {
+      util::ParseUint64(value, &threads);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return 1;
     }
   }
 
-  // One trace per edge region.
-  std::vector<trace::Trace> edge_traces;
+  // One trace per edge region, generated in parallel; each region draws from
+  // its own SplitSeed-decorrelated RNG stream under the single --seed knob.
+  std::vector<trace::WorkloadConfig> workload_configs;
   for (const trace::ServerProfile& profile : trace::PaperServerProfiles(scale)) {
     trace::WorkloadConfig config;
     config.profile = profile;
     config.duration_seconds = days * 86400.0;
-    config.seed = 1 + edge_traces.size();
-    edge_traces.push_back(trace::WorkloadGenerator(config).Generate().trace);
+    config.seed = util::SplitSeed(seed, workload_configs.size());
+    workload_configs.push_back(std::move(config));
+  }
+  trace::ParallelGenerateOptions generate_options;
+  generate_options.threads = static_cast<size_t>(threads);
+  std::vector<trace::Trace> edge_traces;
+  for (trace::GeneratedWorkload& workload :
+       trace::GenerateWorkloads(workload_configs, generate_options)) {
+    edge_traces.push_back(std::move(workload.trace));
   }
 
   sim::HierarchyConfig config;
+  config.threads = static_cast<size_t>(threads);
   config.edge_kind =
       edge_cache == "xlru" ? core::CacheKind::kXlru : core::CacheKind::kCafe;
   config.edge_config.chunk_bytes = 2ull << 20;

@@ -1,0 +1,70 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/exec/strand.h"
+
+#include "src/util/check.h"
+
+namespace vcdn::exec {
+
+namespace {
+// The strand whose handler the current thread is executing, if any.
+thread_local const Strand* current_strand = nullptr;
+}  // namespace
+
+Strand::Strand(ThreadPool& pool) : pool_(pool) {
+  if (pool_.metrics() != nullptr) {
+    posted_counter_ = pool_.metrics()->GetCounter("exec.strand.posted_total");
+    executed_counter_ = pool_.metrics()->GetCounter("exec.strand.executed_total");
+  }
+}
+
+Strand::~Strand() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return !draining_ && queue_.empty(); });
+}
+
+void Strand::Post(std::function<void()> handler) {
+  VCDN_CHECK(handler != nullptr);
+  posted_counter_.Increment();
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(handler));
+    if (!draining_) {
+      draining_ = true;
+      schedule = true;
+    }
+  }
+  if (schedule) {
+    pool_.Submit([this] { Drain(); }, "exec.strand.drain");
+  }
+}
+
+void Strand::Drain() {
+  current_strand = this;
+  for (int executed = 0; executed < kDrainBatch; ++executed) {
+    std::function<void()> handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) {
+        // Release ownership while holding the lock: a Post that sneaks in
+        // after this sees draining_ == false and schedules a fresh drain.
+        draining_ = false;
+        current_strand = nullptr;
+        idle_cv_.notify_all();  // a destructor may be waiting for quiescence
+        return;
+      }
+      handler = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    handler();
+    executed_counter_.Increment();
+  }
+  current_strand = nullptr;
+  // Batch exhausted with work possibly left: yield the worker and reschedule.
+  pool_.Submit([this] { Drain(); }, "exec.strand.drain");
+}
+
+bool Strand::RunningInThisStrand() const { return current_strand == this; }
+
+}  // namespace vcdn::exec

@@ -1,0 +1,90 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Strand: a serialized task queue on top of ThreadPool, for state that must
+// stay single-writer (the shared parent cache of a hierarchy, a merge
+// accumulator) without dedicating a thread to it. Inspired by
+// boost::asio's strand concept.
+//
+// Guarantees:
+//   * handlers posted to one strand never run concurrently;
+//   * handlers run in Post order (FIFO), regardless of which worker drains
+//     the queue;
+//   * handlers run on pool workers -- Post never executes inline.
+//
+// A strand drains in batches (kDrainBatch handlers per pool task) so one
+// busy strand cannot monopolize a worker forever.
+
+#ifndef VCDN_SRC_EXEC_STRAND_H_
+#define VCDN_SRC_EXEC_STRAND_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+
+#include "src/exec/future.h"
+#include "src/exec/thread_pool.h"
+
+namespace vcdn::exec {
+
+class Strand {
+ public:
+  // The pool must outlive the strand. When the pool has a metrics registry,
+  // the strand maintains "exec.strand.posted_total" / "exec.strand.executed_total"
+  // (aggregated across strands on that pool).
+  explicit Strand(ThreadPool& pool);
+
+  Strand(const Strand&) = delete;
+  Strand& operator=(const Strand&) = delete;
+
+  // Blocks until the strand is quiescent (queue empty, no drain in flight).
+  // A handler's side effects (a Latch countdown, a Promise set) may release
+  // the thread that owns the strand before the drain loop has let go of the
+  // strand's internals, so destruction must wait for the drain -- not just
+  // for the handlers.
+  ~Strand();
+
+  // Enqueues a handler; returns immediately.
+  void Post(std::function<void()> handler);
+
+  // Post + a Future for the handler's result.
+  template <typename F>
+  auto Async(F&& fn) {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    Promise<R> promise;
+    Future<R> future = promise.GetFuture();
+    Post([promise, fn = std::forward<F>(fn)]() mutable {
+      if constexpr (std::is_void_v<R>) {
+        fn();
+        promise.Set();
+      } else {
+        promise.Set(fn());
+      }
+    });
+    return future;
+  }
+
+  // True while the calling thread is executing a handler of this strand.
+  bool RunningInThisStrand() const;
+
+ private:
+  static constexpr int kDrainBatch = 16;
+
+  void Drain();
+
+  ThreadPool& pool_;
+  std::mutex mu_;
+  std::condition_variable idle_cv_;  // signaled when draining_ falls to false
+  std::deque<std::function<void()>> queue_;
+  // True while a drain task owns the queue (is scheduled or running);
+  // guarantees single ownership and therefore mutual exclusion.
+  bool draining_ = false;
+  obs::Counter posted_counter_;
+  obs::Counter executed_counter_;
+};
+
+}  // namespace vcdn::exec
+
+#endif  // VCDN_SRC_EXEC_STRAND_H_

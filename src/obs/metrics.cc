@@ -6,67 +6,98 @@
 
 namespace vcdn::obs {
 
+MetricsRegistry::MetricsRegistry(MetricsRegistry&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  counters_ = std::move(other.counters_);
+  gauges_ = std::move(other.gauges_);
+  histograms_ = std::move(other.histograms_);
+}
+
+MetricsRegistry& MetricsRegistry::operator=(MetricsRegistry&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    counters_ = std::move(other.counters_);
+    gauges_ = std::move(other.gauges_);
+    histograms_ = std::move(other.histograms_);
+  }
+  return *this;
+}
+
 Counter MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), std::make_unique<uint64_t>(0)).first;
+    it = counters_.emplace(std::string(name), std::make_unique<std::atomic<uint64_t>>(0)).first;
   }
   return Counter(it->second.get());
 }
 
 Gauge MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), std::make_unique<double>(0.0)).first;
+    it = gauges_.emplace(std::string(name), std::make_unique<std::atomic<double>>(0.0)).first;
   }
   return Gauge(it->second.get());
 }
 
 Histogram MetricsRegistry::GetHistogram(std::string_view name, double lo, double hi,
                                         size_t num_buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
-             .emplace(std::string(name), std::make_unique<util::Histogram>(lo, hi, num_buckets))
+             .emplace(std::string(name), std::make_unique<HistogramCell>(lo, hi, num_buckets))
              .first;
   }
   return Histogram(it->second.get());
 }
 
 uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
-  return it != counters_.end() ? *it->second : 0;
+  return it != counters_.end() ? it->second->load(std::memory_order_relaxed) : 0;
 }
 
 double MetricsRegistry::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
-  return it != gauges_.end() ? *it->second : 0.0;
+  return it != gauges_.end() ? it->second->load(std::memory_order_relaxed) : 0.0;
 }
 
 bool MetricsRegistry::Has(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return counters_.find(name) != counters_.end() || gauges_.find(name) != gauges_.end() ||
          histograms_.find(name) != histograms_.end();
 }
 
+size_t MetricsRegistry::num_instruments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
 std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterSamples() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, cell] : counters_) {
-    out.emplace_back(name, *cell);
+    out.emplace_back(name, cell->load(std::memory_order_relaxed));
   }
   return out;
 }
 
 std::vector<std::pair<std::string, double>> MetricsRegistry::GaugeSamples() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, double>> out;
   out.reserve(gauges_.size());
   for (const auto& [name, cell] : gauges_) {
-    out.emplace_back(name, *cell);
+    out.emplace_back(name, cell->load(std::memory_order_relaxed));
   }
   return out;
 }
 
 std::vector<MetricsRegistry::HistogramSample> MetricsRegistry::HistogramSamples() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<HistogramSample> out;
   out.reserve(histograms_.size());
   for (const auto& [name, hist] : histograms_) {
@@ -85,31 +116,63 @@ std::vector<MetricsRegistry::HistogramSample> MetricsRegistry::HistogramSamples(
   return out;
 }
 
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  VCDN_CHECK(this != &other);
+  // Counters/gauges: snapshot the source under its own lock, then fold in
+  // through the regular Get* path (which takes ours) -- no lock is ever held
+  // across both registries, so merge direction cannot deadlock.
+  std::vector<std::pair<std::string, uint64_t>> counters = other.CounterSamples();
+  std::vector<std::pair<std::string, double>> gauges = other.GaugeSamples();
+  for (const auto& [name, value] : counters) {
+    GetCounter(name).Increment(value);
+  }
+  for (const auto& [name, value] : gauges) {
+    GetGauge(name).Set(value);
+  }
+  {
+    std::scoped_lock lock(mu_, other.mu_);
+    for (const auto& [name, cell] : other.histograms_) {
+      auto it = histograms_.find(name);
+      if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(name, std::make_unique<HistogramCell>(
+                                    cell->bucket_lo(0), cell->bucket_lo(cell->num_buckets()),
+                                    cell->num_buckets()))
+                 .first;
+      }
+      it->second->MergeFrom(*cell);
+    }
+  }
+}
+
 void MetricsRegistry::WriteJson(std::ostream& out) const {
+  auto counters = CounterSamples();
+  auto gauges = GaugeSamples();
+  auto histograms = HistogramSamples();
   out << "{\"counters\":{";
   bool first = true;
-  for (const auto& [name, cell] : counters_) {
+  for (const auto& [name, value] : counters) {
     if (!first) {
       out << ",";
     }
     first = false;
     WriteJsonString(out, name);
-    out << ":" << *cell;
+    out << ":" << value;
   }
   out << "},\"gauges\":{";
   first = true;
-  for (const auto& [name, cell] : gauges_) {
+  for (const auto& [name, value] : gauges) {
     if (!first) {
       out << ",";
     }
     first = false;
     WriteJsonString(out, name);
     out << ":";
-    WriteJsonDouble(out, *cell);
+    WriteJsonDouble(out, value);
   }
   out << "},\"histograms\":{";
   first = true;
-  for (const auto& sample : HistogramSamples()) {
+  for (const auto& sample : histograms) {
     if (!first) {
       out << ",";
     }

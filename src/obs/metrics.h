@@ -15,6 +15,15 @@
 //   * deterministic export -- instruments are stored name-sorted, so JSON
 //     dumps and snapshots are byte-stable for a given run.
 //
+// Thread safety (see docs/PARALLELISM.md): instrument cells are relaxed
+// atomics, so any number of threads may Increment/Set/Add/Observe through
+// handles into one shared registry concurrently. Instrument registration
+// (Get*) and whole-registry reads (samples, JSON, MergeFrom) are serialized
+// by an internal mutex; a read that races with cell updates sees each cell's
+// then-current value (no torn reads, no ordering guarantee across cells).
+// Relaxed ordering keeps the attached path to one uncontended atomic RMW;
+// the detached path is still a single null test.
+//
 // Naming convention: dot-separated lowercase path, "<layer>.<object>.<what>",
 // with counters suffixed "_total" (e.g. "cache.xLRU.filled_chunks_total",
 // "sim.replay.requests_per_sec", "lp.simplex.iterations_total").
@@ -22,15 +31,17 @@
 #ifndef VCDN_SRC_OBS_METRICS_H_
 #define VCDN_SRC_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
-#include "src/util/stats.h"
+#include "src/util/check.h"
 
 namespace vcdn::obs {
 
@@ -43,16 +54,18 @@ class Counter {
 
   void Increment(uint64_t delta = 1) {
     if (cell_ != nullptr) {
-      *cell_ += delta;
+      cell_->fetch_add(delta, std::memory_order_relaxed);
     }
   }
-  uint64_t value() const { return cell_ != nullptr ? *cell_ : 0; }
+  uint64_t value() const {
+    return cell_ != nullptr ? cell_->load(std::memory_order_relaxed) : 0;
+  }
   bool enabled() const { return cell_ != nullptr; }
 
  private:
   friend class MetricsRegistry;
-  explicit Counter(uint64_t* cell) : cell_(cell) {}
-  uint64_t* cell_ = nullptr;
+  explicit Counter(std::atomic<uint64_t>* cell) : cell_(cell) {}
+  std::atomic<uint64_t>* cell_ = nullptr;
 };
 
 // Last-value instrument (occupancy, rates, alpha settings, ...).
@@ -62,25 +75,111 @@ class Gauge {
 
   void Set(double value) {
     if (cell_ != nullptr) {
-      *cell_ = value;
+      cell_->store(value, std::memory_order_relaxed);
     }
   }
   void Add(double delta) {
     if (cell_ != nullptr) {
-      *cell_ += delta;
+      // CAS loop rather than fetch_add(double): universally lock-free and
+      // keeps the update one relaxed RMW on every toolchain.
+      double current = cell_->load(std::memory_order_relaxed);
+      while (!cell_->compare_exchange_weak(current, current + delta,
+                                           std::memory_order_relaxed,
+                                           std::memory_order_relaxed)) {
+      }
     }
   }
-  double value() const { return cell_ != nullptr ? *cell_ : 0.0; }
+  double value() const {
+    return cell_ != nullptr ? cell_->load(std::memory_order_relaxed) : 0.0;
+  }
   bool enabled() const { return cell_ != nullptr; }
 
  private:
   friend class MetricsRegistry;
-  explicit Gauge(double* cell) : cell_(cell) {}
-  double* cell_ = nullptr;
+  explicit Gauge(std::atomic<double>* cell) : cell_(cell) {}
+  std::atomic<double>* cell_ = nullptr;
 };
 
-// Fixed-bucket distribution instrument over [lo, hi) with underflow/overflow,
-// backed by util::Histogram.
+// The registry-owned backing store of one histogram instrument: uniform
+// buckets over [lo, hi) plus underflow/overflow, all counts relaxed atomics
+// (same layout rules as util::Histogram, which stays the single-threaded
+// analytics type).
+class HistogramCell {
+ public:
+  HistogramCell(double lo, double hi, size_t num_buckets)
+      : lo_(lo), hi_(hi), counts_(num_buckets) {
+    VCDN_CHECK(hi > lo);
+    VCDN_CHECK(num_buckets > 0);
+  }
+
+  void Add(double value) {
+    size_t index;
+    if (value < lo_) {
+      index = kUnderflow;
+    } else if (value >= hi_) {
+      index = kOverflow;
+    } else {
+      double relative = (value - lo_) / (hi_ - lo_);
+      index = static_cast<size_t>(relative * static_cast<double>(counts_.size()));
+      if (index >= counts_.size()) {  // guard the fp round-up edge
+        index = counts_.size() - 1;
+      }
+    }
+    Bump(index, 1);
+  }
+
+  size_t num_buckets() const { return counts_.size(); }
+  double bucket_lo(size_t i) const {
+    return lo_ + static_cast<double>(i) * (hi_ - lo_) / static_cast<double>(counts_.size());
+  }
+  uint64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t underflow() const { return underflow_.load(std::memory_order_relaxed); }
+  uint64_t overflow() const { return overflow_.load(std::memory_order_relaxed); }
+  uint64_t total_count() const {
+    uint64_t total = underflow() + overflow();
+    for (const auto& count : counts_) {
+      total += count.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // Adds another cell's counts into this one. Layouts must match (same
+  // [lo, hi) and bucket count): cells merged across registries always come
+  // from the same instrumented call site.
+  void MergeFrom(const HistogramCell& other) {
+    VCDN_CHECK(other.lo_ == lo_ && other.hi_ == hi_ &&
+               other.counts_.size() == counts_.size());
+    Bump(kUnderflow, other.underflow());
+    Bump(kOverflow, other.overflow());
+    for (size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i].fetch_add(other.bucket_count(i), std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  static constexpr size_t kUnderflow = static_cast<size_t>(-1);
+  static constexpr size_t kOverflow = static_cast<size_t>(-2);
+
+  void Bump(size_t index, uint64_t delta) {
+    if (index == kUnderflow) {
+      underflow_.fetch_add(delta, std::memory_order_relaxed);
+    } else if (index == kOverflow) {
+      overflow_.fetch_add(delta, std::memory_order_relaxed);
+    } else {
+      counts_[index].fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+
+  double lo_;
+  double hi_;
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<uint64_t> underflow_{0};
+  std::atomic<uint64_t> overflow_{0};
+};
+
+// Fixed-bucket distribution instrument over [lo, hi) with underflow/overflow.
 class Histogram {
  public:
   Histogram() = default;
@@ -92,19 +191,19 @@ class Histogram {
   }
   bool enabled() const { return impl_ != nullptr; }
   // Null when disabled.
-  const util::Histogram* data() const { return impl_; }
+  const HistogramCell* data() const { return impl_; }
 
  private:
   friend class MetricsRegistry;
-  explicit Histogram(util::Histogram* impl) : impl_(impl) {}
-  util::Histogram* impl_ = nullptr;
+  explicit Histogram(HistogramCell* impl) : impl_(impl) {}
+  HistogramCell* impl_ = nullptr;
 };
 
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
-  MetricsRegistry(MetricsRegistry&&) = default;
-  MetricsRegistry& operator=(MetricsRegistry&&) = default;
+  MetricsRegistry(MetricsRegistry&& other) noexcept;
+  MetricsRegistry& operator=(MetricsRegistry&& other) noexcept;
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
@@ -120,9 +219,7 @@ class MetricsRegistry {
   double GaugeValue(std::string_view name) const;
   bool Has(std::string_view name) const;
 
-  size_t num_instruments() const {
-    return counters_.size() + gauges_.size() + histograms_.size();
-  }
+  size_t num_instruments() const;
 
   // Name-sorted snapshots.
   std::vector<std::pair<std::string, uint64_t>> CounterSamples() const;
@@ -137,15 +234,24 @@ class MetricsRegistry {
   };
   std::vector<HistogramSample> HistogramSamples() const;
 
+  // Folds another registry into this one, find-or-creating instruments as
+  // needed: counters and histogram buckets add, gauges overwrite (matching
+  // the last-writer-wins semantics of a sequential run). Merging shard
+  // registries in a fixed order therefore reproduces the shared-registry
+  // sequential result exactly -- the determinism contract the parallel fleet
+  // relies on (docs/PARALLELISM.md). `other` must not be this registry.
+  void MergeFrom(const MetricsRegistry& other);
+
   // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
   void WriteJson(std::ostream& out) const;
 
  private:
   // std::map keeps export order deterministic; unique_ptr keeps cell
   // addresses stable across rehash-free inserts and registry moves.
-  std::map<std::string, std::unique_ptr<uint64_t>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<double>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<util::Histogram>, std::less<>> histograms_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<std::atomic<uint64_t>>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<std::atomic<double>>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramCell>, std::less<>> histograms_;
 };
 
 }  // namespace vcdn::obs

@@ -81,6 +81,15 @@ void TraceEventSink::SnapshotRegistry(const MetricsRegistry& registry) {
   }
 }
 
+void TraceEventSink::Append(const TraceEventSink& other, int tid) {
+  events_.reserve(events_.size() + other.events_.size());
+  for (TraceEvent event : other.events_) {
+    event.tid = tid;
+    events_.push_back(std::move(event));
+  }
+  num_snapshots_ += other.num_snapshots_;
+}
+
 namespace {
 
 void WriteEvent(std::ostream& out, const TraceEvent& event) {
@@ -89,7 +98,7 @@ void WriteEvent(std::ostream& out, const TraceEvent& event) {
   out << ",\"cat\":";
   WriteJsonString(out, event.category.empty() ? std::string_view("vcdn")
                                               : std::string_view(event.category));
-  out << ",\"ph\":\"" << event.phase << "\",\"pid\":1,\"tid\":1,\"ts\":";
+  out << ",\"ph\":\"" << event.phase << "\",\"pid\":1,\"tid\":" << event.tid << ",\"ts\":";
   WriteJsonDouble(out, event.ts_us);
   if (event.phase == 'X') {
     out << ",\"dur\":";

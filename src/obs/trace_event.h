@@ -20,6 +20,12 @@
 // SnapshotRegistry doubles as the JSONL snapshot stream: when a line stream
 // is attached, each snapshot also appends one self-contained JSON line
 // ({"ts_us":...,"counters":{...},"gauges":{...}}) to it.
+//
+// Thread safety: unlike the metrics registry, a TraceEventSink is
+// single-threaded -- recording methods must not race. Parallel code records
+// into one sink per shard/worker and merges them after the join via Append
+// (see exec::ThreadPool and sim::RunFleet); only NowMicros is safe to call
+// concurrently.
 
 #ifndef VCDN_SRC_OBS_TRACE_EVENT_H_
 #define VCDN_SRC_OBS_TRACE_EVENT_H_
@@ -35,6 +41,10 @@
 
 namespace vcdn::obs {
 
+// First trace lane used for merged per-shard sinks (sim::RunFleet); keeps
+// fleet lanes clear of the main thread (1) and executor workers (2 + i).
+inline constexpr int kFleetTidBase = 100;
+
 struct TraceEvent {
   std::string name;
   std::string category;
@@ -43,6 +53,10 @@ struct TraceEvent {
   double dur_us = 0.0;  // complete events only
   // Counter events carry one sampled value under this series name.
   double value = 0.0;
+  // Rendered as the Chrome trace "tid": one horizontal lane per tid in the
+  // viewer. Lane 1 is the main thread; executor workers use 2 + worker index
+  // (exec::ThreadPool), merged fleet shards use kFleetTidBase + shard index.
+  int tid = 1;
 };
 
 class TraceEventSink {
@@ -53,12 +67,24 @@ class TraceEventSink {
   TraceEventSink(const TraceEventSink&) = delete;
   TraceEventSink& operator=(const TraceEventSink&) = delete;
 
-  // Microseconds of wall clock since the sink was created.
+  // Microseconds of wall clock since the sink was created. Const and
+  // mutation-free, so safe to call from any thread (the event-recording
+  // methods below are not -- see the thread-safety note at the top).
   double NowMicros() const;
 
   void AddComplete(std::string_view name, std::string_view category, double ts_us, double dur_us);
   void AddInstant(std::string_view name, std::string_view category);
   void AddCounter(std::string_view name, double value, double ts_us);
+  // Fully specified event (callers that set tid themselves).
+  void Add(TraceEvent event) { events_.push_back(std::move(event)); }
+
+  // Appends a copy of `other`'s events, re-tagged onto lane `tid`. Timestamps
+  // are kept as recorded (each relative to its own sink's creation), so
+  // append sinks that were created at comparable times -- e.g. per-shard
+  // sinks of one fleet run -- and lanes line up well enough to read.
+  // Event order is other's recording order: merging shard sinks in a fixed
+  // order yields a deterministic event list.
+  void Append(const TraceEventSink& other, int tid);
 
   // Samples every counter and gauge of the registry as 'C' events at
   // NowMicros(), and appends one JSONL line if a line stream is attached.

@@ -3,67 +3,167 @@
 #include "src/sim/hierarchy.h"
 
 #include <algorithm>
+#include <iterator>
+#include <optional>
+
+#include "src/exec/strand.h"
 
 namespace vcdn::sim {
+
+namespace {
+
+// A redirect captured at an edge, tagged with its origin so the parent's
+// request stream can be merged deterministically: ordering by (arrival time,
+// edge, sequence) reproduces exactly what the sequential concatenate-then-
+// stable_sort produced.
+struct TaggedRedirect {
+  trace::Request request;
+  size_t edge = 0;
+  uint64_t seq = 0;
+};
+
+// Replays one edge with a local redirect capture and (when obs is on) local
+// instruments, so edges can run concurrently and still merge exactly.
+void RunEdge(const trace::Trace& edge_trace, const HierarchyConfig& config, size_t edge_index,
+             obs::MetricsRegistry* local_metrics, obs::TraceEventSink* local_sink,
+             ReplayResult& result_out, std::vector<TaggedRedirect>& redirects_out) {
+  auto edge = core::MakeCache(config.edge_kind, config.edge_config);
+  ReplayOptions options = config.replay;
+  options.metrics = local_metrics;
+  options.trace_sink = local_sink;
+  uint64_t seq = 0;
+  options.on_outcome = [&](const trace::Request& request, const core::RequestOutcome& outcome) {
+    if (outcome.decision == core::Decision::kRedirect) {
+      redirects_out.push_back(TaggedRedirect{request, edge_index, seq++});
+    }
+  };
+  result_out = Replay(*edge, edge_trace, options);
+}
+
+}  // namespace
 
 HierarchyResult RunHierarchy(const std::vector<trace::Trace>& edge_traces,
                              const HierarchyConfig& config) {
   VCDN_CHECK(!edge_traces.empty());
-  HierarchyResult result;
+  // The hierarchy owns the replay loop's callbacks.
+  VCDN_CHECK(config.replay.observer == nullptr);
+  VCDN_CHECK(config.replay.on_outcome == nullptr);
 
-  // Phase 1: edges. Collect each edge's redirected requests.
-  trace::Trace parent_trace;
-  double max_duration = 0.0;
-  for (const trace::Trace& edge_trace : edge_traces) {
-    auto edge = core::MakeCache(config.edge_kind, config.edge_config);
-    edge->Prepare(edge_trace);
-    MetricsCollector collector(config.edge_config.chunk_bytes,
-                               edge_trace.duration * config.replay.measurement_start_fraction,
-                               config.replay.bucket_seconds);
-    for (const trace::Request& request : edge_trace.requests) {
-      core::RequestOutcome outcome = edge->HandleRequest(request);
-      collector.Record(request.arrival_time, outcome);
-      if (outcome.decision == core::Decision::kRedirect) {
-        parent_trace.requests.push_back(request);
-      }
+  const size_t num_edges = edge_traces.size();
+  HierarchyResult result;
+  result.edges.resize(num_edges);
+
+  // Per-edge local obs, merged in edge order below (identical for any thread
+  // count; see docs/PARALLELISM.md).
+  std::vector<std::optional<obs::MetricsRegistry>> edge_metrics(num_edges);
+  std::vector<std::optional<obs::TraceEventSink>> edge_sinks(num_edges);
+  for (size_t i = 0; i < num_edges; ++i) {
+    if (config.replay.metrics != nullptr) {
+      edge_metrics[i].emplace();
     }
-    ReplayResult edge_result;
-    edge_result.cache_name = std::string(edge->name());
-    edge_result.alpha_f2r = config.edge_config.alpha_f2r;
-    edge_result.totals = collector.totals();
-    edge_result.steady = collector.steady();
-    edge_result.series = collector.Series();
-    edge_result.efficiency = edge_result.steady.Efficiency(edge->cost_model());
-    edge_result.ingress_fraction = edge_result.steady.IngressFraction();
-    edge_result.redirect_fraction = edge_result.steady.RedirectFraction();
-    result.edges.push_back(std::move(edge_result));
-    max_duration = std::max(max_duration, edge_trace.duration);
+    if (config.replay.trace_sink != nullptr) {
+      edge_sinks[i].emplace();
+    }
+  }
+  auto edge_metrics_ptr = [&](size_t i) {
+    return edge_metrics[i].has_value() ? &*edge_metrics[i] : nullptr;
+  };
+  auto edge_sink_ptr = [&](size_t i) {
+    return edge_sinks[i].has_value() ? &*edge_sinks[i] : nullptr;
+  };
+
+  exec::ThreadPool* pool = config.pool;
+  std::optional<exec::ThreadPool> owned_pool;
+  if (pool == nullptr && config.threads != 1) {
+    exec::ThreadPoolOptions pool_options;
+    pool_options.num_threads = config.threads;
+    pool_options.metrics = config.replay.metrics;
+    pool_options.trace_sink = config.replay.trace_sink;
+    owned_pool.emplace(pool_options);
+    pool = &*owned_pool;
   }
 
-  // Phase 2: parent sees the time-ordered merge of all edge redirects.
-  std::stable_sort(parent_trace.requests.begin(), parent_trace.requests.end(),
-                   [](const trace::Request& a, const trace::Request& b) {
-                     return a.arrival_time < b.arrival_time;
-                   });
-  parent_trace.duration = max_duration;
-  {
-    auto parent = core::MakeCache(config.parent_kind, config.parent_config);
-    parent->Prepare(parent_trace);
-    MetricsCollector collector(config.parent_config.chunk_bytes,
-                               parent_trace.duration * config.replay.measurement_start_fraction,
-                               config.replay.bucket_seconds);
-    for (const trace::Request& request : parent_trace.requests) {
-      core::RequestOutcome outcome = parent->HandleRequest(request);
-      collector.Record(request.arrival_time, outcome);
+  // Phase 1: edges. Collect each edge's redirects, tagged for the merge.
+  std::vector<TaggedRedirect> tagged;
+  if (pool == nullptr) {
+    for (size_t i = 0; i < num_edges; ++i) {
+      std::vector<TaggedRedirect> local;
+      RunEdge(edge_traces[i], config, i, edge_metrics_ptr(i), edge_sink_ptr(i), result.edges[i],
+              local);
+      tagged.insert(tagged.end(), std::make_move_iterator(local.begin()),
+                    std::make_move_iterator(local.end()));
     }
-    result.parent.cache_name = std::string(parent->name());
-    result.parent.alpha_f2r = config.parent_config.alpha_f2r;
-    result.parent.totals = collector.totals();
-    result.parent.steady = collector.steady();
-    result.parent.series = collector.Series();
-    result.parent.efficiency = result.parent.steady.Efficiency(parent->cost_model());
-    result.parent.ingress_fraction = result.parent.steady.IngressFraction();
-    result.parent.redirect_fraction = result.parent.steady.RedirectFraction();
+  } else {
+    // Everything that mutates second-tier state -- here, the shared redirect
+    // accumulator -- goes through the strand; edge replays themselves run
+    // concurrently on the pool.
+    exec::Strand parent_strand(*pool);
+    std::vector<std::vector<TaggedRedirect>> edge_redirects(num_edges);
+    exec::Latch merged(num_edges);
+    for (size_t i = 0; i < num_edges; ++i) {
+      pool->Submit(
+          [&, i] {
+            RunEdge(edge_traces[i], config, i, edge_metrics_ptr(i), edge_sink_ptr(i),
+                    result.edges[i], edge_redirects[i]);
+            parent_strand.Post([&, i] {
+              tagged.insert(tagged.end(), std::make_move_iterator(edge_redirects[i].begin()),
+                            std::make_move_iterator(edge_redirects[i].end()));
+              merged.CountDown();
+            });
+          },
+          "hierarchy.edge");
+    }
+    merged.Wait();
+  }
+
+  // Deterministic time-ordered merge (ties broken by (edge, sequence), the
+  // order the sequential stable_sort over in-order concatenation yields).
+  std::sort(tagged.begin(), tagged.end(), [](const TaggedRedirect& a, const TaggedRedirect& b) {
+    if (a.request.arrival_time != b.request.arrival_time) {
+      return a.request.arrival_time < b.request.arrival_time;
+    }
+    if (a.edge != b.edge) {
+      return a.edge < b.edge;
+    }
+    return a.seq < b.seq;
+  });
+
+  // Merge edge obs in edge order before the parent records anything.
+  for (size_t i = 0; i < num_edges; ++i) {
+    if (edge_metrics[i].has_value()) {
+      config.replay.metrics->MergeFrom(*edge_metrics[i]);
+    }
+    if (edge_sinks[i].has_value()) {
+      config.replay.trace_sink->Append(*edge_sinks[i], obs::kFleetTidBase + static_cast<int>(i));
+    }
+  }
+
+  // Phase 2: parent sees the merged redirect stream.
+  trace::Trace parent_trace;
+  parent_trace.requests.reserve(tagged.size());
+  for (TaggedRedirect& redirect : tagged) {
+    parent_trace.requests.push_back(redirect.request);
+  }
+  double max_duration = 0.0;
+  for (const trace::Trace& edge_trace : edge_traces) {
+    max_duration = std::max(max_duration, edge_trace.duration);
+  }
+  parent_trace.duration = max_duration;
+
+  auto run_parent = [&] {
+    auto parent = core::MakeCache(config.parent_kind, config.parent_config);
+    ReplayOptions options = config.replay;  // shared obs: parent runs alone
+    result.parent = Replay(*parent, parent_trace, options);
+  };
+  if (pool == nullptr) {
+    run_parent();
+  } else {
+    // The second tier stays strand-serialized in parallel mode.
+    exec::Strand parent_strand(*pool);
+    parent_strand.Async(run_parent).Get();
+  }
+  if (owned_pool.has_value()) {
+    owned_pool->Shutdown();
   }
 
   // CDN-wide aggregates (steady-state windows).

@@ -11,6 +11,14 @@
 // time-ordered merge of all edge redirects. Whatever the parent redirects is
 // served by the origin. The CDN-wide cost charges edge fills, parent fills
 // and origin-served bytes with configurable per-tier costs.
+//
+// Parallel mode (threads != 1): the independent edge replays shard across an
+// exec::ThreadPool; everything that touches the shared second tier -- the
+// redirect accumulator and the parent replay itself -- is serialized through
+// an exec::Strand. Results are bit-identical to the sequential run for any
+// thread count: redirects are tagged (edge, sequence) and merged by
+// (arrival time, edge, sequence), exactly the order the sequential
+// stable_sort produces. See docs/PARALLELISM.md.
 
 #ifndef VCDN_SRC_SIM_HIERARCHY_H_
 #define VCDN_SRC_SIM_HIERARCHY_H_
@@ -21,6 +29,7 @@
 
 #include "src/core/cache_algorithm.h"
 #include "src/core/cache_factory.h"
+#include "src/exec/thread_pool.h"
 #include "src/sim/replay.h"
 #include "src/trace/request.h"
 
@@ -31,7 +40,15 @@ struct HierarchyConfig {
   core::CacheConfig edge_config;
   core::CacheKind parent_kind = core::CacheKind::kCafe;
   core::CacheConfig parent_config;  // typically a deeper cache, lower alpha
+  // observer/on_outcome must be unset (the hierarchy owns the replay loop);
+  // metrics/trace_sink receive the edge recordings merged in edge order,
+  // then the parent's.
   ReplayOptions replay;
+  // Edge-replay worker count: 1 (default) runs sequentially on the calling
+  // thread, 0 selects hardware concurrency.
+  size_t threads = 1;
+  // Run on an existing pool instead of building one (threads then ignored).
+  exec::ThreadPool* pool = nullptr;
 };
 
 struct HierarchyResult {

@@ -27,6 +27,21 @@ void ReplayTotals::Accumulate(const core::RequestOutcome& outcome, uint64_t chun
   evicted_chunks += outcome.evicted_chunks;
 }
 
+void ReplayTotals::Add(const ReplayTotals& other) {
+  requests += other.requests;
+  served_requests += other.served_requests;
+  redirected_requests += other.redirected_requests;
+  requested_bytes += other.requested_bytes;
+  served_bytes += other.served_bytes;
+  redirected_bytes += other.redirected_bytes;
+  filled_bytes += other.filled_bytes;
+  evicted_chunks += other.evicted_chunks;
+  requested_chunks += other.requested_chunks;
+  filled_chunks += other.filled_chunks;
+  redirected_chunks += other.redirected_chunks;
+  proactive_filled_chunks += other.proactive_filled_chunks;
+}
+
 double ReplayTotals::ChunkEfficiency(const core::CostModel& cost) const {
   if (requested_chunks == 0) {
     return 0.0;

@@ -44,6 +44,9 @@ struct ReplayTotals {
 
   void Accumulate(const core::RequestOutcome& outcome, uint64_t chunk_bytes);
 
+  // Field-wise sum, for aggregating per-server totals into fleet-wide ones.
+  void Add(const ReplayTotals& other);
+
   // Eq. (2).
   double Efficiency(const core::CostModel& cost) const;
   // Eq. (2) with every quantity measured in chunks, matching the units of

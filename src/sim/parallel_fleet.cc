@@ -1,0 +1,175 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/sim/parallel_fleet.h"
+
+#include <bit>
+#include <chrono>
+#include <optional>
+
+namespace vcdn::sim {
+
+namespace {
+
+// Everything a shard produces besides its ReplayResult: the local obs
+// recordings, merged into the shared sinks in server order after the join.
+struct ShardObs {
+  std::optional<obs::MetricsRegistry> metrics;
+  std::optional<obs::TraceEventSink> sink;
+};
+
+ReplayOptions ShardReplayOptions(const ReplayOptions& base, ShardObs& obs) {
+  ReplayOptions options = base;
+  options.observer = nullptr;
+  options.metrics = obs.metrics.has_value() ? &*obs.metrics : nullptr;
+  options.trace_sink = obs.sink.has_value() ? &*obs.sink : nullptr;
+  return options;
+}
+
+void RunShard(const FleetServer& server, const ReplayOptions& base, ShardObs& obs,
+              ReplayResult& out) {
+  auto cache = core::MakeCache(server.kind, server.config);
+  out = Replay(*cache, *server.trace, ShardReplayOptions(base, obs));
+}
+
+}  // namespace
+
+FleetResult RunFleet(const std::vector<FleetServer>& servers, const FleetOptions& options) {
+  VCDN_CHECK(!servers.empty());
+  for (const FleetServer& server : servers) {
+    VCDN_CHECK(server.trace != nullptr);
+  }
+  // Per-shard callbacks would run concurrently on pool workers; the fleet
+  // API deliberately has no per-request hook.
+  VCDN_CHECK(options.replay.observer == nullptr);
+  VCDN_CHECK(options.replay.on_outcome == nullptr);
+
+  const bool obs_enabled =
+      options.replay.metrics != nullptr || options.replay.trace_sink != nullptr;
+
+  FleetResult result;
+  result.servers.resize(servers.size());
+  std::vector<ShardObs> shard_obs(servers.size());
+  if (obs_enabled) {
+    for (ShardObs& obs : shard_obs) {
+      if (options.replay.metrics != nullptr) {
+        obs.metrics.emplace();
+      }
+      if (options.replay.trace_sink != nullptr) {
+        obs.sink.emplace();
+      }
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  exec::ThreadPool* pool = options.pool;
+  std::optional<exec::ThreadPool> owned_pool;
+  if (pool == nullptr && options.threads != 1) {
+    exec::ThreadPoolOptions pool_options;
+    pool_options.num_threads = options.threads;
+    // The shared registry is thread-safe; the shared sink is not, so the
+    // pool buffers worker spans until Shutdown.
+    pool_options.metrics = options.replay.metrics;
+    pool_options.trace_sink = options.replay.trace_sink;
+    owned_pool.emplace(pool_options);
+    pool = &*owned_pool;
+  }
+  result.threads = pool != nullptr ? pool->num_threads() : 1;
+
+  if (pool == nullptr) {
+    for (size_t i = 0; i < servers.size(); ++i) {
+      RunShard(servers[i], options.replay, shard_obs[i], result.servers[i]);
+    }
+  } else {
+    // Span labels must outlive the tasks; keep them alive past the join.
+    std::vector<std::string> labels;
+    labels.reserve(servers.size());
+    for (const FleetServer& server : servers) {
+      labels.push_back("fleet." + (server.name.empty() ? "server" : server.name));
+    }
+    exec::Latch done(servers.size());
+    for (size_t i = 0; i < servers.size(); ++i) {
+      pool->Submit(
+          [&servers, &options, &shard_obs, &result, &done, i] {
+            RunShard(servers[i], options.replay, shard_obs[i], result.servers[i]);
+            done.CountDown();
+          },
+          labels[i].c_str());
+    }
+    done.Wait();
+  }
+  // Flush worker spans before appending shard lanes so the event order is
+  // (workers, then shards) -- deterministic either way, but only for a pool
+  // this run owns; an external pool flushes at its own shutdown.
+  if (owned_pool.has_value()) {
+    owned_pool->Shutdown();
+  }
+
+  result.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  // Deterministic merge, in server order.
+  for (size_t i = 0; i < servers.size(); ++i) {
+    result.totals.Add(result.servers[i].totals);
+    result.steady.Add(result.servers[i].steady);
+    if (shard_obs[i].metrics.has_value()) {
+      options.replay.metrics->MergeFrom(*shard_obs[i].metrics);
+    }
+    if (shard_obs[i].sink.has_value()) {
+      options.replay.trace_sink->Append(*shard_obs[i].sink,
+                                        obs::kFleetTidBase + static_cast<int>(i));
+    }
+  }
+  return result;
+}
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void HashU64(uint64_t value, uint64_t* hash) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    *hash = (*hash ^ ((value >> shift) & 0xFF)) * kFnvPrime;
+  }
+}
+
+void HashDouble(double value, uint64_t* hash) { HashU64(std::bit_cast<uint64_t>(value), hash); }
+
+void HashTotals(const ReplayTotals& totals, uint64_t* hash) {
+  HashU64(totals.requests, hash);
+  HashU64(totals.served_requests, hash);
+  HashU64(totals.redirected_requests, hash);
+  HashU64(totals.requested_bytes, hash);
+  HashU64(totals.served_bytes, hash);
+  HashU64(totals.redirected_bytes, hash);
+  HashU64(totals.filled_bytes, hash);
+  HashU64(totals.evicted_chunks, hash);
+  HashU64(totals.requested_chunks, hash);
+  HashU64(totals.filled_chunks, hash);
+  HashU64(totals.redirected_chunks, hash);
+  HashU64(totals.proactive_filled_chunks, hash);
+}
+
+}  // namespace
+
+uint64_t FleetDigest(const FleetResult& result) {
+  uint64_t hash = kFnvOffset;
+  HashTotals(result.totals, &hash);
+  HashTotals(result.steady, &hash);
+  for (const ReplayResult& server : result.servers) {
+    HashTotals(server.totals, &hash);
+    HashTotals(server.steady, &hash);
+    HashDouble(server.efficiency, &hash);
+    HashDouble(server.ingress_fraction, &hash);
+    HashDouble(server.redirect_fraction, &hash);
+    for (const SeriesPoint& point : server.series) {
+      HashDouble(point.bucket_start, &hash);
+      HashU64(point.requested_bytes, &hash);
+      HashU64(point.served_bytes, &hash);
+      HashU64(point.redirected_bytes, &hash);
+      HashU64(point.filled_bytes, &hash);
+    }
+  }
+  return hash;
+}
+
+}  // namespace vcdn::sim

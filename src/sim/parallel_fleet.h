@@ -1,0 +1,76 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Parallel fleet replay: shards a multi-server experiment -- one independent
+// CacheAlgorithm + trace per server, the shape of the paper's Sec. 9
+// evaluation (Fig. 7 replays six servers around the world) -- across an
+// exec::ThreadPool.
+//
+// Determinism contract (tested by sim_parallel_fleet_test, documented in
+// docs/PARALLELISM.md): RunFleet's totals, steady-state windows, time
+// series, efficiency numbers and merged metrics registry are bit-identical
+// to running sim::Replay over the servers sequentially in order, for any
+// thread count and any scheduling. This holds because each shard is a pure
+// function of (cache kind, config, trace), shards share no mutable state,
+// and all merging -- result vector, ReplayTotals sums, registry MergeFrom,
+// trace-sink Append -- happens after the join in server order. Only
+// wall-clock fields (wall_seconds, requests_per_second, span timings) vary
+// between runs; they vary for sequential replays too.
+
+#ifndef VCDN_SRC_SIM_PARALLEL_FLEET_H_
+#define VCDN_SRC_SIM_PARALLEL_FLEET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/cache_factory.h"
+#include "src/exec/thread_pool.h"
+#include "src/sim/replay.h"
+
+namespace vcdn::sim {
+
+// One server shard: an independent cache replaying its own trace.
+struct FleetServer {
+  std::string name;  // label for trace lanes and reports
+  core::CacheKind kind = core::CacheKind::kCafe;
+  core::CacheConfig config;
+  const trace::Trace* trace = nullptr;  // not owned; must outlive RunFleet
+};
+
+struct FleetOptions {
+  // Worker count: 0 selects hardware concurrency; 1 replays the shards
+  // inline on the calling thread (the sequential reference, no pool built).
+  size_t threads = 0;
+  // Run on an existing pool instead of building one (threads is then
+  // ignored). The pool's own obs instruments keep working.
+  exec::ThreadPool* pool = nullptr;
+  // Per-shard replay parameters. metrics/trace_sink receive the
+  // deterministic in-order merge of per-shard recordings (each shard's
+  // events land on trace lane obs::kFleetTidBase + shard index). observer
+  // and on_outcome must be unset: they would be invoked concurrently.
+  ReplayOptions replay;
+};
+
+struct FleetResult {
+  std::vector<ReplayResult> servers;  // in FleetServer order
+  // Fleet-wide sums of the per-server whole-run / steady-state totals.
+  ReplayTotals totals;
+  ReplayTotals steady;
+  // Wall clock of the whole fleet run (trace generation excluded) and the
+  // worker count actually used.
+  double wall_seconds = 0.0;
+  size_t threads = 1;
+};
+
+// Replays every server shard and merges the results in server order.
+FleetResult RunFleet(const std::vector<FleetServer>& servers, const FleetOptions& options = {});
+
+// FNV-1a digest over every deterministic field of the result (per-server
+// totals, steady windows, series, efficiency summaries; wall-clock fields
+// excluded). Equal digests across thread counts are the cheap determinism
+// check printed by the benches.
+uint64_t FleetDigest(const FleetResult& result);
+
+}  // namespace vcdn::sim
+
+#endif  // VCDN_SRC_SIM_PARALLEL_FLEET_H_

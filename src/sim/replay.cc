@@ -86,6 +86,9 @@ ReplayResult Replay(core::CacheAlgorithm& cache, const trace::Trace& trace,
       }
       core::RequestOutcome outcome = cache.HandleRequest(request);
       collector.Record(request.arrival_time, outcome);
+      if (options.on_outcome) {
+        options.on_outcome(request, outcome);
+      }
       ++processed;
       requests_counter.Increment();
     }

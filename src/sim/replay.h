@@ -10,6 +10,7 @@
 #define VCDN_SRC_SIM_REPLAY_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,6 +65,11 @@ struct ReplayOptions {
   obs::TraceEventSink* trace_sink = nullptr;
   // Per-bucket progress callbacks.
   ReplayObserver* observer = nullptr;
+  // Per-request callback, invoked after the cache handled the request and
+  // the collector recorded the outcome. This is how the hierarchy captures
+  // redirects for the parent tier without owning the replay loop. Costs one
+  // bool test per request when unset.
+  std::function<void(const trace::Request&, const core::RequestOutcome&)> on_outcome;
 };
 
 struct ReplayResult {

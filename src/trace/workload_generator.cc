@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/util/check.h"
@@ -212,6 +214,58 @@ GeneratedWorkload WorkloadGenerator::Generate() {
         .Set(trace.duration > 0.0
                  ? static_cast<double>(trace.requests.size()) / trace.duration
                  : 0.0);
+  }
+  return out;
+}
+
+std::vector<GeneratedWorkload> GenerateWorkloads(const std::vector<WorkloadConfig>& configs,
+                                                 const ParallelGenerateOptions& options) {
+  std::vector<GeneratedWorkload> out(configs.size());
+  if (configs.empty()) {
+    return out;
+  }
+
+  exec::ThreadPool* pool = options.pool;
+  std::optional<exec::ThreadPool> owned_pool;
+  if (pool == nullptr && options.threads != 1) {
+    owned_pool.emplace(exec::ThreadPoolOptions{options.threads, nullptr, nullptr});
+    pool = &*owned_pool;
+  }
+
+  // Buffer per-config metrics locally so concurrent shards never write the
+  // shared registry; merging in config order after the join makes the
+  // registry contents identical to a sequential run.
+  std::vector<std::optional<obs::MetricsRegistry>> local_metrics(configs.size());
+  auto shard_config = [&](size_t i) {
+    WorkloadConfig config = configs[i];
+    if (config.metrics != nullptr) {
+      local_metrics[i].emplace();
+      config.metrics = &*local_metrics[i];
+    }
+    return config;
+  };
+
+  if (pool == nullptr) {
+    for (size_t i = 0; i < configs.size(); ++i) {
+      out[i] = WorkloadGenerator(shard_config(i)).Generate();
+    }
+  } else {
+    exec::Latch done(configs.size());
+    for (size_t i = 0; i < configs.size(); ++i) {
+      pool->Submit(
+          [&, i] {
+            out[i] = WorkloadGenerator(shard_config(i)).Generate();
+            done.CountDown();
+          },
+          "workload.generate");
+    }
+    done.Wait();
+  }
+
+  for (size_t i = 0; i < configs.size(); ++i) {
+    if (local_metrics[i].has_value()) {
+      configs[i].metrics->MergeFrom(*local_metrics[i]);
+    }
   }
   return out;
 }

@@ -25,7 +25,9 @@
 #define VCDN_SRC_TRACE_WORKLOAD_GENERATOR_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "src/exec/thread_pool.h"
 #include "src/obs/metrics.h"
 #include "src/trace/catalog.h"
 #include "src/trace/request.h"
@@ -74,6 +76,23 @@ class WorkloadGenerator {
  private:
   WorkloadConfig config_;
 };
+
+struct ParallelGenerateOptions {
+  // Worker count: 0 selects hardware concurrency, 1 generates inline on the
+  // calling thread (no pool built).
+  size_t threads = 0;
+  // Generate on an existing pool instead of building one (threads ignored).
+  exec::ThreadPool* pool = nullptr;
+};
+
+// Generates one workload per config, sharding the (independent) generations
+// across a thread pool. Bit-identical to calling Generate() on each config in
+// order, for any thread count: generation is a pure function of its config,
+// and per-config metrics recordings are buffered locally and merged in config
+// order after the join. Give each server its own decorrelated RNG stream with
+// util::SplitSeed(base_seed, server_index).
+std::vector<GeneratedWorkload> GenerateWorkloads(const std::vector<WorkloadConfig>& configs,
+                                                 const ParallelGenerateOptions& options = {});
 
 }  // namespace vcdn::trace
 

@@ -33,6 +33,21 @@ class SplitMix64 {
   uint64_t state_;
 };
 
+// Seed-splitting: derives the seed of sub-stream `stream_id` from a base
+// seed by jumping the SplitMix64 sequence directly to that element (the
+// additive constant is SplitMix64's golden-ratio increment, so stream k gets
+// the (k+1)-th output of the sequence seeded at `seed`).
+//
+// Use this whenever one logical experiment fans out into several independent
+// generators (one workload per fleet server, one shard per worker, ...):
+// the derived seeds are decorrelated, stable for a given (seed, stream_id),
+// and -- unlike ad-hoc `seed + i` offsets -- never collide with the seed
+// arithmetic of a neighboring experiment. Independent of thread count by
+// construction: the mapping is pure.
+inline uint64_t SplitSeed(uint64_t seed, uint64_t stream_id) {
+  return SplitMix64(seed + stream_id * 0x9E3779B97F4A7C15ULL).Next();
+}
+
 // PCG32 (pcg_xsh_rr_64_32): small, fast, statistically strong generator with
 // independent streams. Reference: O'Neill (2014).
 class Pcg32 {

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <thread>
 #include <utility>
+#include <vector>
 
 namespace vcdn::obs {
 namespace {
@@ -123,6 +125,81 @@ TEST(MetricsRegistryTest, SamplesAreNameSorted) {
   EXPECT_EQ(samples[0].first, "alpha_total");
   EXPECT_EQ(samples[1].first, "mid_total");
   EXPECT_EQ(samples[2].first, "zeta_total");
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesThroughSharedRegistry) {
+  // The parallel-fleet contract (docs/PARALLELISM.md): one registry shared by
+  // many workers loses no updates -- cells are relaxed atomics and
+  // registration is mutex-guarded, so Get* may also race.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      Counter counter = registry.GetCounter("exec.test.shared_total");
+      Gauge gauge = registry.GetGauge("exec.test.sum");
+      Histogram hist = registry.GetHistogram("exec.test.h", 0.0, 8.0, 4);
+      for (int i = 0; i < kIncrements; ++i) {
+        counter.Increment();
+        gauge.Add(1.0);
+        hist.Observe(static_cast<double>(i % 10));  // buckets + overflow
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  constexpr uint64_t kTotal = uint64_t{kThreads} * kIncrements;
+  EXPECT_EQ(registry.CounterValue("exec.test.shared_total"), kTotal);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("exec.test.sum"), static_cast<double>(kTotal));
+  auto samples = registry.HistogramSamples();
+  ASSERT_EQ(samples.size(), 1u);
+  uint64_t observed = samples[0].underflow + samples[0].overflow;
+  for (uint64_t count : samples[0].counts) {
+    observed += count;
+  }
+  EXPECT_EQ(observed, kTotal);
+  EXPECT_EQ(samples[0].overflow, uint64_t{kThreads} * kIncrements / 10 * 2);
+}
+
+TEST(MetricsRegistryTest, MergeFromReproducesSequentialAggregation) {
+  // Merging shard registries in order == recording into one registry in that
+  // order: counters/histograms add, gauges keep the last writer.
+  MetricsRegistry a;
+  a.GetCounter("c_total").Increment(3);
+  a.GetGauge("g").Set(1.0);
+  a.GetHistogram("h", 0.0, 4.0, 2).Observe(1.0);
+
+  MetricsRegistry b;
+  b.GetCounter("c_total").Increment(4);
+  b.GetCounter("only_b_total").Increment(1);
+  b.GetGauge("g").Set(2.5);
+  b.GetHistogram("h", 0.0, 4.0, 2).Observe(3.0);
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.CounterValue("c_total"), 7u);
+  EXPECT_EQ(a.CounterValue("only_b_total"), 1u);
+  EXPECT_DOUBLE_EQ(a.GaugeValue("g"), 2.5);
+  auto samples = a.HistogramSamples();
+  ASSERT_EQ(samples.size(), 1u);
+  ASSERT_EQ(samples[0].counts.size(), 2u);
+  EXPECT_EQ(samples[0].counts[0], 1u);
+  EXPECT_EQ(samples[0].counts[1], 1u);
+
+  MetricsRegistry sequential;
+  sequential.GetCounter("c_total").Increment(3);
+  sequential.GetCounter("c_total").Increment(4);
+  sequential.GetCounter("only_b_total").Increment(1);
+  sequential.GetGauge("g").Set(1.0);
+  sequential.GetGauge("g").Set(2.5);
+  sequential.GetHistogram("h", 0.0, 4.0, 2).Observe(1.0);
+  sequential.GetHistogram("h", 0.0, 4.0, 2).Observe(3.0);
+  std::ostringstream merged_json, sequential_json;
+  a.WriteJson(merged_json);
+  sequential.WriteJson(sequential_json);
+  EXPECT_EQ(merged_json.str(), sequential_json.str());
 }
 
 TEST(MetricsRegistryTest, WriteJsonIsDeterministic) {

@@ -76,6 +76,52 @@ TEST(HierarchyTest, ParentAbsorbsCrossEdgePopularity) {
   EXPECT_GT(result.parent.totals.served_requests, 0u);
 }
 
+TEST(HierarchyTest, ParallelMatchesSequential) {
+  // Four edges with overlapping timestamps so the parent's merged redirect
+  // stream is full of cross-edge ties -- the case the (time, edge, sequence)
+  // merge order must resolve exactly like the sequential stable_sort.
+  std::vector<trace::Trace> traces;
+  for (int e = 0; e < 4; ++e) {
+    std::vector<ChunkReq> reqs;
+    for (int i = 0; i < 400; ++i) {
+      reqs.push_back({static_cast<double>(i),  // identical times on every edge
+                      static_cast<trace::VideoId>(1 + (i * (e + 3)) % 23), 0,
+                      static_cast<uint32_t>(i % 4)});
+    }
+    traces.push_back(MakeTrace(reqs));
+  }
+
+  HierarchyConfig sequential = TestHierarchyConfig();
+  sequential.threads = 1;
+  HierarchyResult reference = RunHierarchy(traces, sequential);
+
+  for (size_t threads : {2u, 7u}) {
+    HierarchyConfig parallel = TestHierarchyConfig();
+    parallel.threads = threads;
+    HierarchyResult result = RunHierarchy(traces, parallel);
+
+    EXPECT_EQ(result.requested_bytes, reference.requested_bytes);
+    EXPECT_EQ(result.edge_served_bytes, reference.edge_served_bytes);
+    EXPECT_EQ(result.edge_filled_bytes, reference.edge_filled_bytes);
+    EXPECT_EQ(result.parent_served_bytes, reference.parent_served_bytes);
+    EXPECT_EQ(result.parent_filled_bytes, reference.parent_filled_bytes);
+    EXPECT_EQ(result.origin_bytes, reference.origin_bytes);
+    EXPECT_EQ(result.edge_hit_fraction, reference.edge_hit_fraction);
+    EXPECT_EQ(result.cdn_hit_fraction, reference.cdn_hit_fraction);
+    // The parent replay depends on the exact merged request order: equality
+    // here means the parallel merge reproduced it byte-for-byte.
+    EXPECT_EQ(result.parent.totals.requests, reference.parent.totals.requests);
+    EXPECT_EQ(result.parent.totals.served_bytes, reference.parent.totals.served_bytes);
+    EXPECT_EQ(result.parent.totals.filled_bytes, reference.parent.totals.filled_bytes);
+    EXPECT_EQ(result.parent.totals.evicted_chunks, reference.parent.totals.evicted_chunks);
+    ASSERT_EQ(result.edges.size(), reference.edges.size());
+    for (size_t i = 0; i < result.edges.size(); ++i) {
+      EXPECT_EQ(result.edges[i].totals.served_bytes, reference.edges[i].totals.served_bytes);
+      EXPECT_EQ(result.edges[i].totals.filled_bytes, reference.edges[i].totals.filled_bytes);
+    }
+  }
+}
+
 TEST(HierarchyTest, DeeperParentAbsorbsMore) {
   trace::WorkloadConfig workload;
   workload.profile = trace::EuropeProfile(0.03);
