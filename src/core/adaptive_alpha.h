@@ -51,6 +51,12 @@ class AdaptiveAlphaCache : public CacheAlgorithm {
 
  protected:
   RequestOutcome HandleRequestImpl(const trace::Request& request) override;
+  // Forwards capacity changes to the wrapped cache. The base class already
+  // updated this wrapper's config; Resize (not bare eviction) keeps the
+  // inner cache's own capacity in sync.
+  uint64_t EvictDownTo(uint64_t max_chunks) override {
+    return max_chunks == 0 ? inner_->DropContents() : inner_->Resize(max_chunks);
+  }
   // Also attaches the wrapped cache, so its own instrument set (under the
   // inner cache's name) is populated alongside the controller's.
   void OnAttachMetrics(obs::MetricsRegistry& registry, const std::string& prefix) override;

@@ -45,6 +45,15 @@ RequestOutcome AlwaysFillLruCache::HandleRequestImpl(const trace::Request& reque
   return outcome;
 }
 
+uint64_t AlwaysFillLruCache::EvictDownTo(uint64_t max_chunks) {
+  uint64_t evicted = 0;
+  while (disk_.size() > max_chunks) {
+    disk_.PopOldest();
+    ++evicted;
+  }
+  return evicted;
+}
+
 double FillLfuCache::BumpKey(double old_key, double now) const {
   // Count in the "reference frame" of time `now`: 2^(key - now/halflife).
   double phase = now / aging_halflife_;
@@ -99,6 +108,15 @@ RequestOutcome FillLfuCache::HandleRequestImpl(const trace::Request& request) {
   return outcome;
 }
 
+uint64_t FillLfuCache::EvictDownTo(uint64_t max_chunks) {
+  uint64_t evicted = 0;
+  while (cached_.size() > max_chunks) {
+    cached_.PopMin();
+    ++evicted;
+  }
+  return evicted;
+}
+
 void BeladyCache::Prepare(const trace::Trace& trace) {
   futures_.clear();
   for (const trace::Request& r : trace.requests) {
@@ -108,6 +126,15 @@ void BeladyCache::Prepare(const trace::Trace& trace) {
     }
   }
   prepared_ = true;
+}
+
+uint64_t BeladyCache::EvictDownTo(uint64_t max_chunks) {
+  uint64_t evicted = 0;
+  while (cached_.size() > max_chunks) {
+    cached_.PopMax();
+    ++evicted;
+  }
+  return evicted;
 }
 
 RequestOutcome BeladyCache::HandleRequestImpl(const trace::Request& request) {

@@ -36,6 +36,7 @@ class AlwaysFillLruCache : public CacheAlgorithm {
 
  protected:
   RequestOutcome HandleRequestImpl(const trace::Request& request) override;
+  uint64_t EvictDownTo(uint64_t max_chunks) override;  // LRU order
 
  private:
   container::LruMap<ChunkId, double, ChunkIdHash> disk_;
@@ -58,6 +59,7 @@ class FillLfuCache : public CacheAlgorithm {
 
  protected:
   RequestOutcome HandleRequestImpl(const trace::Request& request) override;
+  uint64_t EvictDownTo(uint64_t max_chunks) override;  // least frequent first
 
  private:
   // Time-invariant LFU key: log2(aged count) + t/halflife. Aging multiplies
@@ -83,6 +85,7 @@ class BeladyCache : public CacheAlgorithm {
 
  protected:
   RequestOutcome HandleRequestImpl(const trace::Request& request) override;
+  uint64_t EvictDownTo(uint64_t max_chunks) override;  // farthest future first
 
  private:
   struct FutureList {

@@ -22,6 +22,9 @@ namespace vcdn::core {
 enum class Decision {
   kServe,     // serve from cache, filling any missing chunks first
   kRedirect,  // HTTP 302 to an alternative server
+  // The server never saw the request (outage): the replay's fault layer
+  // synthesizes these; cache algorithms themselves never return it.
+  kUnavailable,
 };
 
 struct CacheConfig {
@@ -97,6 +100,31 @@ class CacheAlgorithm {
 
   virtual std::string_view name() const = 0;
 
+  // Re-targets the disk capacity at runtime (fault injection's disk-degrade
+  // events, and a building block for elastic provisioning). Shrinking evicts
+  // immediately, in the algorithm's own victim order, down to the new limit;
+  // growing just raises the limit. Returns the number of chunks evicted.
+  uint64_t Resize(uint64_t new_capacity_chunks) {
+    VCDN_CHECK(new_capacity_chunks > 0);
+    config_.disk_capacity_chunks = new_capacity_chunks;
+    uint64_t evicted = EvictDownTo(new_capacity_chunks);
+    if (metrics_attached_) {
+      used_chunks_gauge_.Set(static_cast<double>(used_chunks()));
+    }
+    return evicted;
+  }
+
+  // Cold restart: drops every chunk on disk; capacity is unchanged and
+  // popularity-tracking state survives (a restart loses the disk contents,
+  // not the tracking database). Returns the number of chunks dropped.
+  uint64_t DropContents() {
+    uint64_t dropped = EvictDownTo(0);
+    if (metrics_attached_) {
+      used_chunks_gauge_.Set(static_cast<double>(used_chunks()));
+    }
+    return dropped;
+  }
+
   // Re-targets the fill-to-redirect preference at runtime (Sec. 10 discusses
   // dynamic adjustment of alpha_F2R "in a small range through a control
   // loop"). Takes effect from the next request.
@@ -118,6 +146,11 @@ class CacheAlgorithm {
  protected:
   // The algorithm's actual request handling (old virtual HandleRequest).
   virtual RequestOutcome HandleRequestImpl(const trace::Request& request) = 0;
+
+  // Evicts, in the algorithm's victim order, until used_chunks() is at most
+  // `max_chunks` (0 empties the disk). Returns the number evicted. Backs
+  // Resize/DropContents; must not touch config_.disk_capacity_chunks.
+  virtual uint64_t EvictDownTo(uint64_t max_chunks) = 0;
 
   // Subclass hook: register algorithm-specific instruments under `prefix`
   // (e.g. xLRU's tracker occupancy, Cafe's admission-decision mix).

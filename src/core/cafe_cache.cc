@@ -115,6 +115,16 @@ void CafeCache::CacheEvict(const ChunkId& chunk) {
   }
 }
 
+uint64_t CafeCache::EvictDownTo(uint64_t max_chunks) {
+  uint64_t evicted = 0;
+  while (cached_.size() > max_chunks) {
+    ChunkId victim = cached_.Min().second;  // copy: eviction invalidates refs
+    CacheEvict(victim);
+    ++evicted;
+  }
+  return evicted;
+}
+
 uint32_t CafeCache::ProactiveFill(double now) {
   // Off-peak only: the smoothed request rate must sit well below the peak.
   if (rate_estimate_ <= 0.0 || peak_rate_ <= 0.0 ||

@@ -92,6 +92,9 @@ class CafeCache : public CacheAlgorithm {
 
  protected:
   RequestOutcome HandleRequestImpl(const trace::Request& request) override;
+  // Evicts least popular first; the victims' stats move to history, so a
+  // cold restart loses the disk but keeps the popularity signal.
+  uint64_t EvictDownTo(uint64_t max_chunks) override;
   void OnAttachMetrics(obs::MetricsRegistry& registry, const std::string& prefix) override;
   void OnOutcomeRecorded() override;
 

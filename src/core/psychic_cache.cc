@@ -63,6 +63,17 @@ double PsychicCache::CacheAge(double now) const {
   return first_request_time_ < 0.0 ? 0.0 : now - first_request_time_;
 }
 
+uint64_t PsychicCache::EvictDownTo(uint64_t max_chunks) {
+  uint64_t evicted = 0;
+  while (cached_.size() > max_chunks) {
+    auto [key, chunk] = cached_.PopMax();
+    (void)key;
+    fill_time_.erase(chunk);
+    ++evicted;
+  }
+  return evicted;
+}
+
 void PsychicCache::OnAttachMetrics(obs::MetricsRegistry& registry, const std::string& prefix) {
   window_gauge_ = registry.GetGauge(prefix + "window_seconds");
   tracked_futures_gauge_ = registry.GetGauge(prefix + "tracked_future_chunks");

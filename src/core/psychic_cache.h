@@ -54,6 +54,9 @@ class PsychicCache : public CacheAlgorithm {
 
  protected:
   RequestOutcome HandleRequestImpl(const trace::Request& request) override;
+  // Evicts farthest-future first. Forced evictions (resize / cold restart)
+  // skip the residence-time average: they say nothing about churn.
+  uint64_t EvictDownTo(uint64_t max_chunks) override;
   void OnAttachMetrics(obs::MetricsRegistry& registry, const std::string& prefix) override;
   void OnOutcomeRecorded() override;
 

@@ -34,6 +34,15 @@ void XlruCache::CleanupTracker(double now) {
   }
 }
 
+uint64_t XlruCache::EvictDownTo(uint64_t max_chunks) {
+  uint64_t evicted = 0;
+  while (disk_.size() > max_chunks) {
+    disk_.PopOldest();
+    ++evicted;
+  }
+  return evicted;
+}
+
 void XlruCache::OnAttachMetrics(obs::MetricsRegistry& registry, const std::string& prefix) {
   redirect_unseen_total_ = registry.GetCounter(prefix + "redirect_unseen_total");
   redirect_age_total_ = registry.GetCounter(prefix + "redirect_age_total");

@@ -48,6 +48,7 @@ class XlruCache : public CacheAlgorithm {
 
  protected:
   RequestOutcome HandleRequestImpl(const trace::Request& request) override;
+  uint64_t EvictDownTo(uint64_t max_chunks) override;  // LRU order
   void OnAttachMetrics(obs::MetricsRegistry& registry, const std::string& prefix) override;
   void OnOutcomeRecorded() override;
 

@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "src/exec/strand.h"
+#include "src/util/stats.h"
 
 namespace vcdn::sim {
 
@@ -22,19 +23,42 @@ struct TaggedRedirect {
   uint64_t seq = 0;
 };
 
+// Everything one edge replay produces for the merge phase. Strictly
+// edge-local while the replay runs; combined in edge order after the join.
+struct EdgeCapture {
+  std::vector<TaggedRedirect> redirects;
+  // Per-bucket bytes this edge's outage windows pushed to the origin.
+  util::BucketedSeries outage_series;
+  // Steady-state cost of those bytes (outage_penalty x origin inflation).
+  double outage_cost = 0.0;
+
+  explicit EdgeCapture(double bucket_seconds) : outage_series(0.0, bucket_seconds) {}
+};
+
 // Replays one edge with a local redirect capture and (when obs is on) local
 // instruments, so edges can run concurrently and still merge exactly.
 void RunEdge(const trace::Trace& edge_trace, const HierarchyConfig& config, size_t edge_index,
              obs::MetricsRegistry* local_metrics, obs::TraceEventSink* local_sink,
-             ReplayResult& result_out, std::vector<TaggedRedirect>& redirects_out) {
+             ReplayResult& result_out, EdgeCapture& capture) {
   auto edge = core::MakeCache(config.edge_kind, config.edge_config);
   ReplayOptions options = config.replay;
   options.metrics = local_metrics;
   options.trace_sink = local_sink;
+  options.faults = config.faults;
+  options.fault_target = edge_index;
+  const double steady_start = edge_trace.duration * options.measurement_start_fraction;
   uint64_t seq = 0;
   options.on_outcome = [&](const trace::Request& request, const core::RequestOutcome& outcome) {
     if (outcome.decision == core::Decision::kRedirect) {
-      redirects_out.push_back(TaggedRedirect{request, edge_index, seq++});
+      capture.redirects.push_back(TaggedRedirect{request, edge_index, seq++});
+    } else if (outcome.decision == core::Decision::kUnavailable) {
+      // Edge down: the origin serves this request directly, at a penalty.
+      auto bytes = static_cast<double>(outcome.requested_bytes);
+      capture.outage_series.Add(request.arrival_time, bytes);
+      if (request.arrival_time >= steady_start) {
+        capture.outage_cost += bytes * config.outage_penalty *
+                               config.faults->OriginCostFactor(request.arrival_time);
+      }
     }
   };
   result_out = Replay(*edge, edge_trace, options);
@@ -45,13 +69,18 @@ void RunEdge(const trace::Trace& edge_trace, const HierarchyConfig& config, size
 HierarchyResult RunHierarchy(const std::vector<trace::Trace>& edge_traces,
                              const HierarchyConfig& config) {
   VCDN_CHECK(!edge_traces.empty());
-  // The hierarchy owns the replay loop's callbacks.
+  // The hierarchy owns the replay loop's callbacks and the fault wiring.
   VCDN_CHECK(config.replay.observer == nullptr);
   VCDN_CHECK(config.replay.on_outcome == nullptr);
+  VCDN_CHECK(config.replay.faults == nullptr);
 
   const size_t num_edges = edge_traces.size();
   HierarchyResult result;
   result.edges.resize(num_edges);
+  double max_duration = 0.0;
+  for (const trace::Trace& edge_trace : edge_traces) {
+    max_duration = std::max(max_duration, edge_trace.duration);
+  }
 
   // Per-edge local obs, merged in edge order below (identical for any thread
   // count; see docs/PARALLELISM.md).
@@ -83,37 +112,36 @@ HierarchyResult RunHierarchy(const std::vector<trace::Trace>& edge_traces,
     pool = &*owned_pool;
   }
 
-  // Phase 1: edges. Collect each edge's redirects, tagged for the merge.
-  std::vector<TaggedRedirect> tagged;
+  // Phase 1: edges. Each replay writes only its own EdgeCapture, so edges
+  // run concurrently; all combining happens after the join, in edge order.
+  std::vector<EdgeCapture> captures;
+  captures.reserve(num_edges);
+  for (size_t i = 0; i < num_edges; ++i) {
+    captures.emplace_back(config.replay.bucket_seconds);
+  }
   if (pool == nullptr) {
     for (size_t i = 0; i < num_edges; ++i) {
-      std::vector<TaggedRedirect> local;
       RunEdge(edge_traces[i], config, i, edge_metrics_ptr(i), edge_sink_ptr(i), result.edges[i],
-              local);
-      tagged.insert(tagged.end(), std::make_move_iterator(local.begin()),
-                    std::make_move_iterator(local.end()));
+              captures[i]);
     }
   } else {
-    // Everything that mutates second-tier state -- here, the shared redirect
-    // accumulator -- goes through the strand; edge replays themselves run
-    // concurrently on the pool.
-    exec::Strand parent_strand(*pool);
-    std::vector<std::vector<TaggedRedirect>> edge_redirects(num_edges);
-    exec::Latch merged(num_edges);
+    exec::Latch done(num_edges);
     for (size_t i = 0; i < num_edges; ++i) {
       pool->Submit(
           [&, i] {
             RunEdge(edge_traces[i], config, i, edge_metrics_ptr(i), edge_sink_ptr(i),
-                    result.edges[i], edge_redirects[i]);
-            parent_strand.Post([&, i] {
-              tagged.insert(tagged.end(), std::make_move_iterator(edge_redirects[i].begin()),
-                            std::make_move_iterator(edge_redirects[i].end()));
-              merged.CountDown();
-            });
+                    result.edges[i], captures[i]);
+            done.CountDown();
           },
           "hierarchy.edge");
     }
-    merged.Wait();
+    done.Wait();
+  }
+  std::vector<TaggedRedirect> tagged;
+  for (EdgeCapture& capture : captures) {
+    tagged.insert(tagged.end(), std::make_move_iterator(capture.redirects.begin()),
+                  std::make_move_iterator(capture.redirects.end()));
+    capture.redirects.clear();
   }
 
   // Deterministic time-ordered merge (ties broken by (edge, sequence), the
@@ -138,21 +166,50 @@ HierarchyResult RunHierarchy(const std::vector<trace::Trace>& edge_traces,
     }
   }
 
-  // Phase 2: parent sees the merged redirect stream.
+  // Phase 2: parent sees the merged redirect stream. Redirects arriving in a
+  // parent-outage window fall through to the origin right here -- they never
+  // enter the parent cache, so its state is exactly what an operator would
+  // see after the site came back.
+  const double parent_steady_start = max_duration * config.replay.measurement_start_fraction;
+  util::BucketedSeries fallthrough_series(0.0, config.replay.bucket_seconds);
+  uint64_t parent_fallthrough_bytes = 0;
+  double fallthrough_cost = 0.0;
   trace::Trace parent_trace;
   parent_trace.requests.reserve(tagged.size());
   for (TaggedRedirect& redirect : tagged) {
+    const double t = redirect.request.arrival_time;
+    if (config.faults != nullptr && config.faults->ParentDown(t)) {
+      const uint64_t bytes = redirect.request.size_bytes();
+      fallthrough_series.Add(t, static_cast<double>(bytes));
+      if (t >= parent_steady_start) {
+        parent_fallthrough_bytes += bytes;
+        fallthrough_cost += static_cast<double>(bytes) * config.outage_penalty *
+                            config.faults->OriginCostFactor(t);
+      }
+      continue;
+    }
     parent_trace.requests.push_back(redirect.request);
-  }
-  double max_duration = 0.0;
-  for (const trace::Trace& edge_trace : edge_traces) {
-    max_duration = std::max(max_duration, edge_trace.duration);
   }
   parent_trace.duration = max_duration;
 
+  double parent_origin_cost = 0.0;
   auto run_parent = [&] {
     auto parent = core::MakeCache(config.parent_kind, config.parent_config);
     ReplayOptions options = config.replay;  // shared obs: parent runs alone
+    if (config.faults != nullptr) {
+      options.faults = config.faults;
+      options.fault_target = fault::kParentTarget;
+      // Charge planned parent->origin redirects at the schedule's inflation
+      // (no outage penalty: these are the normal third line of defense).
+      options.on_outcome = [&](const trace::Request& request,
+                               const core::RequestOutcome& outcome) {
+        if (outcome.decision == core::Decision::kRedirect &&
+            request.arrival_time >= parent_steady_start) {
+          parent_origin_cost += static_cast<double>(outcome.requested_bytes) *
+                                config.faults->OriginCostFactor(request.arrival_time);
+        }
+      };
+    }
     result.parent = Replay(*parent, parent_trace, options);
   };
   if (pool == nullptr) {
@@ -171,16 +228,51 @@ HierarchyResult RunHierarchy(const std::vector<trace::Trace>& edge_traces,
     result.requested_bytes += edge.steady.requested_bytes;
     result.edge_served_bytes += edge.steady.served_bytes;
     result.edge_filled_bytes += edge.steady.filled_bytes;
+    result.edge_unavailable_bytes += edge.steady.unavailable_bytes;
   }
   result.parent_served_bytes = result.parent.steady.served_bytes;
   result.parent_filled_bytes = result.parent.steady.filled_bytes;
-  result.origin_bytes = result.parent.steady.redirected_bytes;
+  result.parent_outage_bytes = parent_fallthrough_bytes + result.parent.steady.unavailable_bytes;
+  // Everything the CDN could not absorb lands on the origin, so byte
+  // conservation holds with or without fault injection.
+  result.origin_bytes = result.parent.steady.redirected_bytes + result.edge_unavailable_bytes +
+                        result.parent_outage_bytes;
   if (result.requested_bytes > 0) {
     result.edge_hit_fraction =
         static_cast<double>(result.edge_served_bytes) / static_cast<double>(result.requested_bytes);
     result.cdn_hit_fraction =
         static_cast<double>(result.edge_served_bytes + result.parent_served_bytes) /
         static_cast<double>(result.requested_bytes);
+    result.availability = 1.0 - static_cast<double>(result.edge_unavailable_bytes +
+                                                    result.parent_outage_bytes) /
+                                    static_cast<double>(result.requested_bytes);
+  }
+
+  // Degraded-mode cost and per-bucket outage-origin series (fixed summation
+  // order: edges in index order, then the parent fallthrough stream).
+  if (config.faults != nullptr) {
+    double origin_cost = parent_origin_cost + fallthrough_cost;
+    size_t num_buckets = fallthrough_series.num_buckets();
+    for (const EdgeCapture& capture : captures) {
+      origin_cost += capture.outage_cost;
+      num_buckets = std::max(num_buckets, capture.outage_series.num_buckets());
+    }
+    result.origin_cost = origin_cost;
+    result.outage_origin_series.assign(num_buckets, 0.0);
+    for (const EdgeCapture& capture : captures) {
+      for (size_t b = 0; b < capture.outage_series.num_buckets(); ++b) {
+        result.outage_origin_series[b] += capture.outage_series.sum(b);
+      }
+    }
+    for (size_t b = 0; b < fallthrough_series.num_buckets(); ++b) {
+      result.outage_origin_series[b] += fallthrough_series.sum(b);
+    }
+    for (const ReplayResult& edge : result.edges) {
+      result.faults.Add(edge.faults);
+    }
+    result.faults.Add(result.parent.faults);
+  } else {
+    result.origin_cost = static_cast<double>(result.origin_bytes);
   }
   return result;
 }

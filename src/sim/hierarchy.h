@@ -19,6 +19,17 @@
 // thread count: redirects are tagged (edge, sequence) and merged by
 // (arrival time, edge, sequence), exactly the order the sequential
 // stable_sort produces. See docs/PARALLELISM.md.
+//
+// Fault injection (config.faults, see docs/FAULTS.md): the defense lines
+// degrade tier by tier. An edge-outage window turns that edge's requests
+// into Decision::kUnavailable -- origin-served directly, charged
+// outage_penalty per byte. A parent-outage window makes edge redirects fall
+// through to the origin at the merge step (they never enter the parent
+// cache), same penalty. Disk-degrade windows Resize() the target cache and
+// cold restarts DropContents() it, both inside the per-edge replay. Origin
+// inflation scales the cost of every origin-served byte during its window.
+// All of it is clocked by request arrival times, so results stay
+// bit-identical across thread counts.
 
 #ifndef VCDN_SRC_SIM_HIERARCHY_H_
 #define VCDN_SRC_SIM_HIERARCHY_H_
@@ -49,6 +60,15 @@ struct HierarchyConfig {
   size_t threads = 1;
   // Run on an existing pool instead of building one (threads then ignored).
   exec::ThreadPool* pool = nullptr;
+
+  // Optional fault schedule (must outlive the run). Edge index i is fault
+  // target i; the parent is fault::kParentTarget. replay.faults must stay
+  // unset -- the hierarchy owns the wiring.
+  const fault::FaultSchedule* faults = nullptr;
+  // Cost multiplier for each byte the origin serves because a CDN tier was
+  // down (relative to a normal origin byte): emergency origin capacity is
+  // more expensive than planned redirects.
+  double outage_penalty = 2.0;
 };
 
 struct HierarchyResult {
@@ -61,11 +81,33 @@ struct HierarchyResult {
   uint64_t edge_filled_bytes = 0;    // edge ingress
   uint64_t parent_served_bytes = 0;  // edge misses absorbed by the parent
   uint64_t parent_filled_bytes = 0;  // parent ingress (from origin)
-  uint64_t origin_bytes = 0;         // served by the origin (parent redirects)
+  // Served by the origin: parent redirects plus all outage fallbacks, so
+  // edge_served + parent_served + origin == requested still holds under
+  // fault injection.
+  uint64_t origin_bytes = 0;
 
   // Fraction of user demand that never left the CDN's edge tier / the CDN.
   double edge_hit_fraction = 0.0;
   double cdn_hit_fraction = 0.0;
+
+  // --- degraded-mode accounting (zero without fault injection) ---
+  // Steady-state bytes origin-served because an edge was down...
+  uint64_t edge_unavailable_bytes = 0;
+  // ...and because the parent was down when an edge redirect arrived.
+  uint64_t parent_outage_bytes = 0;
+  // Fraction of steady-state demand served without an outage fallback.
+  double availability = 1.0;
+  // Steady-state origin cost: every origin-served byte weighted by the
+  // schedule's origin inflation at its arrival time, outage fallbacks
+  // additionally by outage_penalty. (requested-byte units; 1.0 per normal
+  // origin byte.)
+  double origin_cost = 0.0;
+  // Whole-run, per replay bucket: origin bytes due to outage fallbacks
+  // (edge outages + parent fallthrough). Shows the origin absorbing a
+  // defense line's traffic during a window and recovering after it.
+  std::vector<double> outage_origin_series;
+  // Summed fault-driver accounting across edges and parent (whole run).
+  fault::FaultStats faults;
 };
 
 // Runs the two-tier simulation over one trace per edge server.

@@ -15,6 +15,10 @@ void ReplayTotals::Accumulate(const core::RequestOutcome& outcome, uint64_t chun
     served_bytes += outcome.requested_bytes;
     filled_bytes += static_cast<uint64_t>(outcome.filled_chunks) * chunk_bytes;
     filled_chunks += outcome.filled_chunks;
+  } else if (outcome.decision == core::Decision::kUnavailable) {
+    ++unavailable_requests;
+    unavailable_bytes += outcome.requested_bytes;
+    unavailable_chunks += outcome.requested_chunks;
   } else {
     ++redirected_requests;
     redirected_bytes += outcome.requested_bytes;
@@ -40,20 +44,23 @@ void ReplayTotals::Add(const ReplayTotals& other) {
   filled_chunks += other.filled_chunks;
   redirected_chunks += other.redirected_chunks;
   proactive_filled_chunks += other.proactive_filled_chunks;
+  unavailable_requests += other.unavailable_requests;
+  unavailable_bytes += other.unavailable_bytes;
+  unavailable_chunks += other.unavailable_chunks;
 }
 
 double ReplayTotals::ChunkEfficiency(const core::CostModel& cost) const {
   if (requested_chunks == 0) {
     return 0.0;
   }
-  return cost.Efficiency(filled_chunks, redirected_chunks, requested_chunks);
+  return cost.Efficiency(filled_chunks, redirected_chunks + unavailable_chunks, requested_chunks);
 }
 
 double ReplayTotals::Efficiency(const core::CostModel& cost) const {
   if (requested_bytes == 0) {
     return 0.0;
   }
-  return cost.Efficiency(filled_bytes, redirected_bytes, requested_bytes);
+  return cost.Efficiency(filled_bytes, redirected_bytes + unavailable_bytes, requested_bytes);
 }
 
 double ReplayTotals::IngressFraction() const {
@@ -78,6 +85,13 @@ double ReplayTotals::RedirectFraction() const {
   return static_cast<double>(redirected_bytes) / static_cast<double>(requested_bytes);
 }
 
+double ReplayTotals::Availability() const {
+  if (requests == 0) {
+    return 1.0;
+  }
+  return 1.0 - static_cast<double>(unavailable_requests) / static_cast<double>(requests);
+}
+
 MetricsCollector::MetricsCollector(uint64_t chunk_bytes, double measurement_start,
                                    double bucket_seconds)
     : chunk_bytes_(chunk_bytes),
@@ -85,7 +99,8 @@ MetricsCollector::MetricsCollector(uint64_t chunk_bytes, double measurement_star
       requested_(0.0, bucket_seconds),
       served_(0.0, bucket_seconds),
       redirected_(0.0, bucket_seconds),
-      filled_(0.0, bucket_seconds) {}
+      filled_(0.0, bucket_seconds),
+      unavailable_(0.0, bucket_seconds) {}
 
 void MetricsCollector::Record(double arrival_time, const core::RequestOutcome& outcome) {
   totals_.Accumulate(outcome, chunk_bytes_);
@@ -98,6 +113,8 @@ void MetricsCollector::Record(double arrival_time, const core::RequestOutcome& o
     served_.Add(arrival_time, bytes);
     filled_.Add(arrival_time,
                 static_cast<double>(static_cast<uint64_t>(outcome.filled_chunks) * chunk_bytes_));
+  } else if (outcome.decision == core::Decision::kUnavailable) {
+    unavailable_.Add(arrival_time, bytes);
   } else {
     redirected_.Add(arrival_time, bytes);
   }
@@ -110,7 +127,7 @@ void MetricsCollector::Record(double arrival_time, const core::RequestOutcome& o
 
 std::vector<SeriesPoint> MetricsCollector::Series() const {
   size_t n = std::max({requested_.num_buckets(), served_.num_buckets(), redirected_.num_buckets(),
-                       filled_.num_buckets()});
+                       filled_.num_buckets(), unavailable_.num_buckets()});
   std::vector<SeriesPoint> out(n);
   for (size_t i = 0; i < n; ++i) {
     out[i].bucket_start = requested_.bucket_start(i);
@@ -118,6 +135,7 @@ std::vector<SeriesPoint> MetricsCollector::Series() const {
     out[i].served_bytes = static_cast<uint64_t>(served_.sum(i));
     out[i].redirected_bytes = static_cast<uint64_t>(redirected_.sum(i));
     out[i].filled_bytes = static_cast<uint64_t>(filled_.sum(i));
+    out[i].unavailable_bytes = static_cast<uint64_t>(unavailable_.sum(i));
   }
   return out;
 }

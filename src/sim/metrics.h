@@ -41,13 +41,19 @@ struct ReplayTotals {
   // Background prefetches (Sec. 10 proactive caching); also included in
   // filled_bytes / filled_chunks since they are real ingress.
   uint64_t proactive_filled_chunks = 0;
+  // Requests the server never saw because a fault-injected outage window
+  // covered them (Decision::kUnavailable); served by the origin upstream.
+  uint64_t unavailable_requests = 0;
+  uint64_t unavailable_bytes = 0;
+  uint64_t unavailable_chunks = 0;
 
   void Accumulate(const core::RequestOutcome& outcome, uint64_t chunk_bytes);
 
   // Field-wise sum, for aggregating per-server totals into fleet-wide ones.
   void Add(const ReplayTotals& other);
 
-  // Eq. (2).
+  // Eq. (2). Unavailable traffic is charged like a redirect: the bytes still
+  // travel to the origin, the cache just was not there to decide.
   double Efficiency(const core::CostModel& cost) const;
   // Eq. (2) with every quantity measured in chunks, matching the units of
   // the offline Optimal LP (Sec. 7) for Fig. 2 comparisons.
@@ -59,6 +65,8 @@ struct ReplayTotals {
   double IngressFraction() const;
   // Redirected-bytes fraction of requested bytes; 0 when nothing requested.
   double RedirectFraction() const;
+  // Fraction of requests the server was up for; 1 when nothing requested.
+  double Availability() const;
 };
 
 // One Fig. 3-style time-series point (per bucket, e.g. per hour).
@@ -68,6 +76,7 @@ struct SeriesPoint {
   uint64_t served_bytes = 0;
   uint64_t redirected_bytes = 0;
   uint64_t filled_bytes = 0;
+  uint64_t unavailable_bytes = 0;  // outage traffic, origin-served
 };
 
 class MetricsCollector {
@@ -91,6 +100,7 @@ class MetricsCollector {
   util::BucketedSeries served_;
   util::BucketedSeries redirected_;
   util::BucketedSeries filled_;
+  util::BucketedSeries unavailable_;
 };
 
 }  // namespace vcdn::sim

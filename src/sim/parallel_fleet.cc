@@ -17,18 +17,22 @@ struct ShardObs {
   std::optional<obs::TraceEventSink> sink;
 };
 
-ReplayOptions ShardReplayOptions(const ReplayOptions& base, ShardObs& obs) {
+ReplayOptions ShardReplayOptions(const ReplayOptions& base, ShardObs& obs, size_t shard_index) {
   ReplayOptions options = base;
   options.observer = nullptr;
   options.metrics = obs.metrics.has_value() ? &*obs.metrics : nullptr;
   options.trace_sink = obs.sink.has_value() ? &*obs.sink : nullptr;
+  // Shard i is fault target i: a shared FaultSchedule applies each server's
+  // own outage/degrade windows, and stays deterministic because the schedule
+  // is read-only and each driver is replay-local.
+  options.fault_target = shard_index;
   return options;
 }
 
 void RunShard(const FleetServer& server, const ReplayOptions& base, ShardObs& obs,
-              ReplayResult& out) {
+              size_t shard_index, ReplayResult& out) {
   auto cache = core::MakeCache(server.kind, server.config);
-  out = Replay(*cache, *server.trace, ShardReplayOptions(base, obs));
+  out = Replay(*cache, *server.trace, ShardReplayOptions(base, obs, shard_index));
 }
 
 }  // namespace
@@ -77,7 +81,7 @@ FleetResult RunFleet(const std::vector<FleetServer>& servers, const FleetOptions
 
   if (pool == nullptr) {
     for (size_t i = 0; i < servers.size(); ++i) {
-      RunShard(servers[i], options.replay, shard_obs[i], result.servers[i]);
+      RunShard(servers[i], options.replay, shard_obs[i], i, result.servers[i]);
     }
   } else {
     // Span labels must outlive the tasks; keep them alive past the join.
@@ -90,7 +94,7 @@ FleetResult RunFleet(const std::vector<FleetServer>& servers, const FleetOptions
     for (size_t i = 0; i < servers.size(); ++i) {
       pool->Submit(
           [&servers, &options, &shard_obs, &result, &done, i] {
-            RunShard(servers[i], options.replay, shard_obs[i], result.servers[i]);
+            RunShard(servers[i], options.replay, shard_obs[i], i, result.servers[i]);
             done.CountDown();
           },
           labels[i].c_str());
@@ -147,6 +151,9 @@ void HashTotals(const ReplayTotals& totals, uint64_t* hash) {
   HashU64(totals.filled_chunks, hash);
   HashU64(totals.redirected_chunks, hash);
   HashU64(totals.proactive_filled_chunks, hash);
+  HashU64(totals.unavailable_requests, hash);
+  HashU64(totals.unavailable_bytes, hash);
+  HashU64(totals.unavailable_chunks, hash);
 }
 
 }  // namespace
@@ -167,6 +174,7 @@ uint64_t FleetDigest(const FleetResult& result) {
       HashU64(point.served_bytes, &hash);
       HashU64(point.redirected_bytes, &hash);
       HashU64(point.filled_bytes, &hash);
+      HashU64(point.unavailable_bytes, &hash);
     }
   }
   return hash;

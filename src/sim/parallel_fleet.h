@@ -48,6 +48,8 @@ struct FleetOptions {
   // deterministic in-order merge of per-shard recordings (each shard's
   // events land on trace lane obs::kFleetTidBase + shard index). observer
   // and on_outcome must be unset: they would be invoked concurrently.
+  // replay.faults applies per shard with fault target = shard index
+  // (replay.fault_target is overwritten); see docs/FAULTS.md.
   ReplayOptions replay;
 };
 

@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <optional>
 
 namespace vcdn::sim {
 
@@ -48,6 +49,12 @@ ReplayResult Replay(core::CacheAlgorithm& cache, const trace::Trace& trace,
   const bool observing = options.observer != nullptr || options.trace_sink != nullptr ||
                          options.metrics != nullptr;
 
+  std::optional<fault::FaultDriver> fault_driver;
+  if (options.faults != nullptr && !options.faults->empty()) {
+    fault_driver.emplace(*options.faults, options.fault_target, &cache, options.metrics,
+                         options.trace_sink);
+  }
+
   const SteadyClock::time_point loop_start = SteadyClock::now();
   uint64_t processed = 0;
   int64_t current_bucket = -1;
@@ -84,7 +91,23 @@ ReplayResult Replay(core::CacheAlgorithm& cache, const trace::Trace& trace,
         }
         current_bucket = bucket;
       }
-      core::RequestOutcome outcome = cache.HandleRequest(request);
+      bool unavailable = false;
+      if (fault_driver.has_value()) {
+        fault_driver->Advance(request.arrival_time);
+        unavailable = fault_driver->InOutage(request.arrival_time);
+      }
+      core::RequestOutcome outcome;
+      if (unavailable) {
+        // The server is down: the request never reaches the cache and is
+        // origin-served upstream (the hierarchy charges the penalty).
+        outcome.decision = core::Decision::kUnavailable;
+        outcome.requested_bytes = request.size_bytes();
+        outcome.requested_chunks =
+            core::ToChunkRange(request, cache.config().chunk_bytes).count();
+        fault_driver->RecordUnavailable(outcome);
+      } else {
+        outcome = cache.HandleRequest(request);
+      }
       collector.Record(request.arrival_time, outcome);
       if (options.on_outcome) {
         options.on_outcome(request, outcome);
@@ -109,6 +132,13 @@ ReplayResult Replay(core::CacheAlgorithm& cache, const trace::Trace& trace,
   result.efficiency = result.steady.Efficiency(cache.cost_model());
   result.ingress_fraction = result.steady.IngressFraction();
   result.redirect_fraction = result.steady.RedirectFraction();
+  result.availability = result.totals.Availability();
+  if (fault_driver.has_value()) {
+    // Apply any boundaries past the last request so end-of-trace restores
+    // and restarts still count, then surface the accounting.
+    fault_driver->Advance(trace.duration);
+    result.faults = fault_driver->stats();
+  }
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/core/cache_algorithm.h"
+#include "src/fault/fault.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_event.h"
 #include "src/sim/metrics.h"
@@ -68,8 +69,21 @@ struct ReplayOptions {
   // Per-request callback, invoked after the cache handled the request and
   // the collector recorded the outcome. This is how the hierarchy captures
   // redirects for the parent tier without owning the replay loop. Costs one
-  // bool test per request when unset.
+  // bool test per request when unset. Also invoked for fault-injected
+  // Decision::kUnavailable outcomes.
   std::function<void(const trace::Request&, const core::RequestOutcome&)> on_outcome;
+
+  // --- fault injection (optional) ---
+  // When set (and non-empty), a fault::FaultDriver applies the schedule's
+  // events for `fault_target` as the replay clock passes them: requests in
+  // outage windows become Decision::kUnavailable without touching the cache,
+  // disk-degrade windows Resize() it, cold restarts DropContents(). The
+  // schedule must outlive the replay and is shared read-only, so concurrent
+  // shard replays stay deterministic. See docs/FAULTS.md.
+  const fault::FaultSchedule* faults = nullptr;
+  // Which schedule target this replay is: an edge/shard index, or
+  // fault::kParentTarget for a parent-tier replay.
+  size_t fault_target = 0;
 };
 
 struct ReplayResult {
@@ -83,6 +97,10 @@ struct ReplayResult {
   double efficiency = 0.0;
   double ingress_fraction = 0.0;
   double redirect_fraction = 0.0;
+  // Whole-run fraction of requests the server was up for (1.0 without
+  // fault injection), plus the fault driver's raw event accounting.
+  double availability = 1.0;
+  fault::FaultStats faults;
 
   // Wall-clock cost of the replay loop (excluding Prepare) and the resulting
   // host-time throughput.

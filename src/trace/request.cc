@@ -2,6 +2,7 @@
 
 #include "src/trace/request.h"
 
+#include <cmath>
 #include <unordered_set>
 
 namespace vcdn::trace {
@@ -16,8 +17,16 @@ size_t Trace::DistinctVideos() const {
 }
 
 bool Trace::IsWellFormed() const {
+  // NaN would slip past every ordering comparison below (all comparisons
+  // with NaN are false), so reject non-finite times explicitly.
+  if (!std::isfinite(duration) || duration < 0.0) {
+    return false;
+  }
   double prev = 0.0;
   for (const Request& r : requests) {
+    if (!std::isfinite(r.arrival_time)) {
+      return false;
+    }
     if (r.arrival_time < prev || r.arrival_time < 0.0) {
       return false;
     }

@@ -2,7 +2,9 @@
 
 #include "src/trace/trace_io.h"
 
+#include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -65,6 +67,12 @@ util::Result<Trace> ReadCsv(std::istream& in) {
       if (eq != std::string::npos && line.find("duration_seconds") != std::string::npos) {
         double d = 0.0;
         if (util::ParseDouble(std::string_view(line).substr(eq + 1), &d)) {
+          // A parsed-but-broken duration is corruption, not a missing
+          // comment: reject it instead of silently keeping 0.
+          if (!std::isfinite(d) || d < 0.0) {
+            return util::InvalidArgumentError("line " + std::to_string(line_number) +
+                                              ": non-finite or negative duration_seconds");
+          }
           trace.duration = d;
         }
       }
@@ -79,6 +87,10 @@ util::Result<Trace> ReadCsv(std::istream& in) {
     if (!util::ParseDouble(fields[0], &r.arrival_time) || !util::ParseUint64(fields[1], &r.video) ||
         !util::ParseUint64(fields[2], &r.byte_begin) || !util::ParseUint64(fields[3], &r.byte_end)) {
       return util::InvalidArgumentError("line " + std::to_string(line_number) + ": parse error");
+    }
+    if (!std::isfinite(r.arrival_time)) {
+      return util::InvalidArgumentError("line " + std::to_string(line_number) +
+                                        ": non-finite arrival_time");
     }
     if (r.byte_end < r.byte_begin) {
       return util::InvalidArgumentError("line " + std::to_string(line_number) +
@@ -143,15 +155,40 @@ util::Result<Trace> ReadBinary(std::istream& in) {
   if (!in) {
     return util::DataLossError("truncated header");
   }
-  trace.requests.resize(count);
-  for (Request& r : trace.requests) {
+  if (!std::isfinite(trace.duration) || trace.duration < 0.0) {
+    return util::DataLossError("corrupt header: non-finite or negative duration");
+  }
+  // A corrupt count must not drive a multi-gigabyte resize. When the stream
+  // is seekable, bound count by the payload bytes actually present; either
+  // way, grow incrementally and bail on the first short read.
+  constexpr uint64_t kRecordBytes = 4 * sizeof(uint64_t);
+  const std::istream::pos_type payload_start = in.tellg();
+  if (payload_start != std::istream::pos_type(-1) && in.seekg(0, std::ios::end)) {
+    const std::istream::pos_type stream_end = in.tellg();
+    in.seekg(payload_start);
+    if (stream_end != std::istream::pos_type(-1)) {
+      const auto remaining = static_cast<uint64_t>(stream_end - payload_start);
+      if (count > remaining / kRecordBytes) {
+        return util::DataLossError("corrupt header: record count " + std::to_string(count) +
+                                   " exceeds the " + std::to_string(remaining) +
+                                   " payload bytes in the stream");
+      }
+    }
+  } else {
+    in.clear();  // non-seekable stream (e.g. a pipe): fall back to bail-on-read
+  }
+  trace.requests.reserve(static_cast<size_t>(std::min<uint64_t>(count, uint64_t{1} << 20)));
+  for (uint64_t i = 0; i < count; ++i) {
+    Request r;
     in.read(reinterpret_cast<char*>(&r.arrival_time), sizeof(r.arrival_time));
     in.read(reinterpret_cast<char*>(&r.video), sizeof(r.video));
     in.read(reinterpret_cast<char*>(&r.byte_begin), sizeof(r.byte_begin));
     in.read(reinterpret_cast<char*>(&r.byte_end), sizeof(r.byte_end));
-  }
-  if (!in) {
-    return util::DataLossError("truncated record stream");
+    if (!in) {
+      return util::DataLossError("truncated record stream: expected " + std::to_string(count) +
+                                 " records, got " + std::to_string(i));
+    }
+    trace.requests.push_back(r);
   }
   if (!trace.IsWellFormed()) {
     return util::InvalidArgumentError("trace not well-formed");

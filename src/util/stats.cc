@@ -63,17 +63,24 @@ double Histogram::Quantile(double q) const {
   double target = q * static_cast<double>(total_);
   double cumulative = static_cast<double>(underflow_);
   if (cumulative >= target) {
+    // The quantile falls in the underflow mass (or q == 0): clamp to the
+    // histogram's lower bound rather than interpolating into a bucket.
     return lo_;
   }
   double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;  // empty buckets carry no mass and must not interpolate
+    }
     double next = cumulative + static_cast<double>(counts_[i]);
-    if (next >= target && counts_[i] > 0) {
+    if (next >= target) {
       double frac = (target - cumulative) / static_cast<double>(counts_[i]);
+      frac = std::min(std::max(frac, 0.0), 1.0);
       return bucket_lo(i) + frac * width;
     }
     cumulative = next;
   }
+  // Remaining mass is overflow (values >= hi_): clamp symmetrically to hi_.
   return hi_;
 }
 

@@ -1,0 +1,161 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Corruption corpus for the trace I/O layer: every crafted-bad input must
+// come back as a non-OK status -- quickly and without absurd allocations --
+// and never as a quietly wrong Trace.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "src/trace/trace_io.h"
+
+namespace vcdn::trace {
+namespace {
+
+Trace SampleTrace() {
+  Trace t;
+  t.duration = 100.0;
+  t.requests.push_back(Request{1.5, 42, 0, 1023});
+  t.requests.push_back(Request{2.25, 7, 4096, 8191});
+  t.requests.push_back(Request{99.0, 42, 0, 0});
+  return t;
+}
+
+std::string SerializeBinary(const Trace& trace) {
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_TRUE(WriteBinary(trace, stream).ok());
+  return stream.str();
+}
+
+util::Result<Trace> ReadBinaryString(const std::string& data) {
+  std::stringstream stream(data, std::ios::in | std::ios::binary);
+  return ReadBinary(stream);
+}
+
+// Builds just the 24-byte header (magic, count, duration) with no records.
+std::string HeaderOnly(uint64_t count, double duration) {
+  std::string data = "VCDNTRC1";
+  data.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  data.append(reinterpret_cast<const char*>(&duration), sizeof(duration));
+  return data;
+}
+
+TEST(TraceCorruptionTest, TruncatedMagic) {
+  std::string data = SerializeBinary(SampleTrace());
+  auto result = ReadBinaryString(data.substr(0, 5));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(TraceCorruptionTest, TruncatedHeader) {
+  std::string data = SerializeBinary(SampleTrace());
+  // Magic intact, count/duration cut short.
+  auto result = ReadBinaryString(data.substr(0, 12));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kDataLoss);
+}
+
+TEST(TraceCorruptionTest, TruncatedRecordStream) {
+  std::string data = SerializeBinary(SampleTrace());
+  // Cut mid-record: header promises 3 records, payload holds 2.5.
+  auto result = ReadBinaryString(data.substr(0, data.size() - 16));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kDataLoss);
+}
+
+TEST(TraceCorruptionTest, AbsurdCountWithEmptyPayloadFailsFastWithoutAllocating) {
+  // The regression this file exists for: a 2^40 record count and zero
+  // payload used to drive a 32 TiB vector resize. It must now fail with
+  // DataLossError well under a second.
+  const std::string data = HeaderOnly(uint64_t{1} << 40, 10.0);
+  const auto start = std::chrono::steady_clock::now();
+  auto result = ReadBinaryString(data);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kDataLoss);
+  EXPECT_LT(elapsed, 1.0);
+}
+
+TEST(TraceCorruptionTest, CountLargerThanPayload) {
+  Trace trace = SampleTrace();
+  std::string data = SerializeBinary(trace);
+  // Patch the count field (bytes 8..15) to promise one extra record.
+  uint64_t bogus = trace.requests.size() + 1;
+  std::memcpy(data.data() + 8, &bogus, sizeof(bogus));
+  auto result = ReadBinaryString(data);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kDataLoss);
+}
+
+TEST(TraceCorruptionTest, NonFiniteDurationInHeader) {
+  for (double d : {std::numeric_limits<double>::quiet_NaN(),
+                   std::numeric_limits<double>::infinity(), -1.0}) {
+    auto result = ReadBinaryString(HeaderOnly(0, d));
+    EXPECT_FALSE(result.ok()) << "duration=" << d;
+  }
+}
+
+TEST(TraceCorruptionTest, NanArrivalTimeInRecord) {
+  Trace trace = SampleTrace();
+  trace.requests[1].arrival_time = std::numeric_limits<double>::quiet_NaN();
+  std::string data = SerializeBinary(trace);  // writer does not validate
+  auto result = ReadBinaryString(data);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(TraceCorruptionTest, InvertedByteRangeInRecord) {
+  Trace trace = SampleTrace();
+  trace.requests[0].byte_begin = 5000;
+  trace.requests[0].byte_end = 100;
+  auto result = ReadBinaryString(SerializeBinary(trace));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(TraceCorruptionTest, EmptyTraceRoundTrips) {
+  Trace empty;
+  empty.duration = 0.0;
+  auto result = ReadBinaryString(SerializeBinary(empty));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().requests.empty());
+}
+
+TEST(TraceCorruptionCsvTest, RejectsNanArrivalTimeWithLineNumber) {
+  std::stringstream stream(
+      "arrival_time,video,byte_begin,byte_end\n"
+      "1.0,1,0,10\n"
+      "nan,2,0,10\n");
+  auto result = ReadCsv(stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(TraceCorruptionCsvTest, RejectsInfiniteArrivalTime) {
+  std::stringstream stream(
+      "arrival_time,video,byte_begin,byte_end\n"
+      "inf,1,0,10\n");
+  auto result = ReadCsv(stream);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(TraceCorruptionCsvTest, RejectsNonFiniteDurationComment) {
+  std::stringstream stream(
+      "arrival_time,video,byte_begin,byte_end\n"
+      "# duration_seconds=nan\n"
+      "1.0,1,0,10\n");
+  auto result = ReadCsv(stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace vcdn::trace
