@@ -167,8 +167,27 @@ std::vector<sim::ReplayResult> RunCacheJobs(const std::vector<CacheJob>& jobs,
   return std::move(fleet.servers);
 }
 
+void RequireReleaseBuild() {
+#ifndef NDEBUG
+  const char* allow = std::getenv("VCDN_ALLOW_UNOPTIMIZED_BENCH");
+  if (allow == nullptr || std::string(allow) != "1") {
+    std::fprintf(stderr,
+                 "error: this bench binary was built without NDEBUG (Debug or unoptimized "
+                 "build).\n"
+                 "Benchmark numbers from such a build are meaningless. Rebuild with\n"
+                 "  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release\n"
+                 "or set VCDN_ALLOW_UNOPTIMIZED_BENCH=1 to run anyway (smoke tests only).\n");
+    std::abort();
+  }
+  std::fprintf(stderr,
+               "warning: unoptimized bench build (VCDN_ALLOW_UNOPTIMIZED_BENCH=1); do not "
+               "record these numbers\n");
+#endif
+}
+
 void PrintHeader(const std::string& experiment, const std::string& paper_claim,
                  const BenchScale& scale) {
+  RequireReleaseBuild();
   std::printf("==============================================================================\n");
   std::printf("%s\n", experiment.c_str());
   std::printf("Paper: %s\n", paper_claim.c_str());

@@ -143,9 +143,15 @@ std::vector<sim::ReplayResult> RunCacheJobs(const std::vector<CacheJob>& jobs,
                                             const BenchFlags& flags, BenchObs* obs = nullptr);
 
 // Prints the experiment banner: figure id, what the paper reported, and the
-// scale in effect.
+// scale in effect. Also enforces RequireReleaseBuild().
 void PrintHeader(const std::string& experiment, const std::string& paper_claim,
                  const BenchScale& scale);
+
+// Aborts with a clear message when the binary was built without NDEBUG
+// (Debug / unoptimized): bench numbers from such builds are meaningless and
+// must never land in EXPERIMENTS.md or BENCH_hotpath.json. Set
+// VCDN_ALLOW_UNOPTIMIZED_BENCH=1 to override (CI smoke runs of Debug builds).
+void RequireReleaseBuild();
 
 }  // namespace vcdn::bench
 

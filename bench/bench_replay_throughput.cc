@@ -1,0 +1,269 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Hot-path replay throughput: the tracked A/B baseline for the flat
+// containers (FlatLruMap / ScoreHeap) against the seed's node-based
+// reference containers (LruMap / OrderedKeySet), on the default Figure-7
+// six-server workload.
+//
+// Measures, single-threaded per algorithm (xLRU, Cafe):
+//   * requests/sec over the full six-server replay,
+//   * ns/request p50 / p99 (timed in batches of 1024 requests),
+//   * heap allocations and bytes per request (global counting operator new;
+//     exact in this binary, which links vcdn_alloc_hook),
+// and, at --threads N, the fleet wall time for both container policies.
+// Every run CHECKs that the two policies produce the same FleetDigest: the
+// speedup is only meaningful while replay results stay bit-identical.
+//
+// Writes BENCH_hotpath.json (override with --out <path>). --repeat K runs
+// the single-thread measurement K times and reports the best (all repeats
+// are listed in the JSON; the digest must agree across repeats).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/util/alloc_hook.h"
+#include "src/util/check.h"
+#include "src/util/str_util.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kBatch = 1024;  // requests per timing sample
+
+struct SingleThreadRun {
+  double wall_seconds = 0.0;
+  double requests_per_sec = 0.0;
+  double ns_per_request_p50 = 0.0;
+  double ns_per_request_p99 = 0.0;
+  double allocs_per_request = 0.0;
+  double bytes_per_request = 0.0;
+  uint64_t requests = 0;
+};
+
+double Percentile(std::vector<double>& sorted_in_place, double q) {
+  if (sorted_in_place.empty()) {
+    return 0.0;
+  }
+  std::sort(sorted_in_place.begin(), sorted_in_place.end());
+  size_t index = static_cast<size_t>(q * static_cast<double>(sorted_in_place.size() - 1));
+  return sorted_in_place[index];
+}
+
+// Replays every trace through a fresh cache of `kind`, timing the raw
+// HandleRequest loop in batches. Prepare and cache construction are outside
+// the timed region; the allocation counters cover only the request loop.
+SingleThreadRun ReplaySingleThread(vcdn::core::CacheKind kind,
+                                   const std::vector<vcdn::trace::Trace>& traces,
+                                   const vcdn::core::CacheConfig& config) {
+  using namespace vcdn;
+  SingleThreadRun run;
+  std::vector<double> batch_ns;
+  double total_seconds = 0.0;
+  util::AllocStats alloc_total{};
+  for (const trace::Trace& trace : traces) {
+    auto cache = core::MakeCache(kind, config);
+    cache->Prepare(trace);
+    const std::vector<trace::Request>& requests = trace.requests;
+    util::AllocScope alloc_scope;
+    for (size_t start = 0; start < requests.size(); start += kBatch) {
+      size_t end = std::min(requests.size(), start + kBatch);
+      auto t0 = Clock::now();
+      for (size_t i = start; i < end; ++i) {
+        cache->HandleRequest(requests[i]);
+      }
+      auto t1 = Clock::now();
+      double ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+      total_seconds += ns * 1e-9;
+      batch_ns.push_back(ns / static_cast<double>(end - start));
+    }
+    util::AllocStats delta = alloc_scope.Delta();
+    alloc_total.allocations += delta.allocations;
+    alloc_total.bytes += delta.bytes;
+    run.requests += requests.size();
+  }
+  run.wall_seconds = total_seconds;
+  run.requests_per_sec =
+      total_seconds > 0.0 ? static_cast<double>(run.requests) / total_seconds : 0.0;
+  run.ns_per_request_p99 = Percentile(batch_ns, 0.99);  // sorts batch_ns
+  run.ns_per_request_p50 = Percentile(batch_ns, 0.50);
+  if (run.requests > 0) {
+    run.allocs_per_request =
+        static_cast<double>(alloc_total.allocations) / static_cast<double>(run.requests);
+    run.bytes_per_request =
+        static_cast<double>(alloc_total.bytes) / static_cast<double>(run.requests);
+  }
+  return run;
+}
+
+void PrintRun(const char* label, const SingleThreadRun& run) {
+  std::printf("  %-14s %10.0f req/s  p50 %7.0f ns  p99 %7.0f ns  %6.2f allocs/req  %8.1f B/req\n",
+              label, run.requests_per_sec, run.ns_per_request_p50, run.ns_per_request_p99,
+              run.allocs_per_request, run.bytes_per_request);
+}
+
+void WriteRunJson(std::ofstream& out, const char* indent, const SingleThreadRun& run) {
+  out << indent << "\"requests\": " << run.requests << ",\n"
+      << indent << "\"wall_seconds\": " << run.wall_seconds << ",\n"
+      << indent << "\"requests_per_sec\": " << run.requests_per_sec << ",\n"
+      << indent << "\"ns_per_request_p50\": " << run.ns_per_request_p50 << ",\n"
+      << indent << "\"ns_per_request_p99\": " << run.ns_per_request_p99 << ",\n"
+      << indent << "\"allocs_per_request\": " << run.allocs_per_request << ",\n"
+      << indent << "\"bytes_per_request\": " << run.bytes_per_request << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vcdn;
+  bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
+  std::string out_path = "BENCH_hotpath.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--out") {
+      out_path = argv[i + 1];
+    }
+  }
+  bench::PrintHeader(
+      "Hot-path replay throughput: flat containers vs node-based reference",
+      "engineering baseline (no paper figure); flat slab containers target >= 2x "
+      "single-thread replay throughput at bit-identical results",
+      scale);
+  if (!util::AllocHookActive()) {
+    std::fprintf(stderr, "error: vcdn_alloc_hook not linked; allocation columns would lie\n");
+    return 1;
+  }
+
+  core::CacheConfig config = bench::PaperConfig(1.0, 2.0, scale);
+  std::vector<trace::ServerProfile> profiles = trace::PaperServerProfiles(scale.workload_scale);
+  std::vector<trace::Trace> traces = bench::MakeServerTraces(profiles, scale, flags);
+  uint64_t total_requests = 0;
+  for (const trace::Trace& t : traces) {
+    total_requests += t.requests.size();
+  }
+  std::printf("Workload: %zu servers, %llu requests total\n\n", traces.size(),
+              static_cast<unsigned long long>(total_requests));
+
+  // Single-thread A/B: per algorithm, best of --repeat runs.
+  struct Pair {
+    const char* label;
+    core::CacheKind flat;
+    core::CacheKind reference;
+  };
+  const Pair pairs[] = {
+      {"xLRU", core::CacheKind::kXlru, core::CacheKind::kXlruRef},
+      {"Cafe", core::CacheKind::kCafe, core::CacheKind::kCafeRef},
+  };
+  std::vector<SingleThreadRun> best_flat(2);
+  std::vector<SingleThreadRun> best_ref(2);
+  std::vector<std::vector<double>> repeat_rps_flat(2);
+  std::vector<std::vector<double>> repeat_rps_ref(2);
+  for (size_t k = 0; k < flags.repeat; ++k) {
+    for (size_t p = 0; p < 2; ++p) {
+      SingleThreadRun flat = ReplaySingleThread(pairs[p].flat, traces, config);
+      SingleThreadRun ref = ReplaySingleThread(pairs[p].reference, traces, config);
+      repeat_rps_flat[p].push_back(flat.requests_per_sec);
+      repeat_rps_ref[p].push_back(ref.requests_per_sec);
+      if (flat.requests_per_sec > best_flat[p].requests_per_sec) {
+        best_flat[p] = flat;
+      }
+      if (ref.requests_per_sec > best_ref[p].requests_per_sec) {
+        best_ref[p] = ref;
+      }
+    }
+  }
+  double combined_flat = 0.0;
+  double combined_ref = 0.0;
+  std::printf("Single-thread replay (best of %zu repeat%s):\n", flags.repeat,
+              flags.repeat == 1 ? "" : "s");
+  for (size_t p = 0; p < 2; ++p) {
+    std::printf("%s:\n", pairs[p].label);
+    PrintRun("flat", best_flat[p]);
+    PrintRun("reference", best_ref[p]);
+    std::printf("  speedup %.2fx\n", best_flat[p].requests_per_sec / best_ref[p].requests_per_sec);
+    combined_flat += best_flat[p].wall_seconds;
+    combined_ref += best_ref[p].wall_seconds;
+  }
+  double combined_speedup = combined_ref / combined_flat;
+  std::printf("Combined wall: flat %.2fs vs reference %.2fs -> %.2fx\n\n", combined_flat,
+              combined_ref, combined_speedup);
+
+  // Fleet comparison at --threads: 6 servers x {xLRU, Cafe} per policy. The
+  // digests must match -- the whole point of the flat containers is identical
+  // results, faster.
+  std::vector<bench::CacheJob> flat_jobs;
+  std::vector<bench::CacheJob> ref_jobs;
+  for (size_t s = 0; s < profiles.size(); ++s) {
+    for (const Pair& pair : pairs) {
+      flat_jobs.push_back(bench::CacheJob{profiles[s].name, pair.flat, config, &traces[s]});
+      ref_jobs.push_back(bench::CacheJob{profiles[s].name, pair.reference, config, &traces[s]});
+    }
+  }
+  std::printf("Fleet (flat):      ");
+  std::vector<sim::ReplayResult> flat_results = bench::RunCacheJobs(flat_jobs, flags);
+  std::printf("Fleet (reference): ");
+  std::vector<sim::ReplayResult> ref_results = bench::RunCacheJobs(ref_jobs, flags);
+  VCDN_CHECK(flat_results.size() == ref_results.size());
+  for (size_t i = 0; i < flat_results.size(); ++i) {
+    VCDN_CHECK_MSG(flat_results[i].totals.served_requests == ref_results[i].totals.served_requests &&
+                       flat_results[i].totals.filled_chunks == ref_results[i].totals.filled_chunks &&
+                       flat_results[i].totals.evicted_chunks == ref_results[i].totals.evicted_chunks,
+                   "flat and reference containers diverged -- replay is no longer bit-identical");
+  }
+  std::printf("Flat vs reference replay totals: identical across %zu jobs\n", flat_results.size());
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"bench_replay_throughput\",\n"
+      << "  \"workload\": {\n"
+      << "    \"figure\": \"fig7 six servers\",\n"
+      << "    \"scale\": " << scale.workload_scale << ",\n"
+      << "    \"days\": " << scale.days << ",\n"
+      << "    \"chunks_per_paper_tb\": " << scale.chunks_per_paper_tb << ",\n"
+      << "    \"seed\": " << scale.seed << ",\n"
+      << "    \"servers\": " << traces.size() << ",\n"
+      << "    \"requests\": " << total_requests << "\n"
+      << "  },\n"
+      << "  \"repeat\": " << flags.repeat << ",\n"
+      << "  \"alloc_hook_active\": true,\n"
+      << "  \"single_thread\": {\n";
+  for (size_t p = 0; p < 2; ++p) {
+    out << "    \"" << pairs[p].label << "\": {\n"
+        << "      \"flat\": {\n";
+    WriteRunJson(out, "        ", best_flat[p]);
+    out << "      },\n"
+        << "      \"reference\": {\n";
+    WriteRunJson(out, "        ", best_ref[p]);
+    out << "      },\n"
+        << "      \"speedup\": "
+        << best_flat[p].requests_per_sec / best_ref[p].requests_per_sec << ",\n"
+        << "      \"repeat_requests_per_sec_flat\": [";
+    for (size_t k = 0; k < repeat_rps_flat[p].size(); ++k) {
+      out << (k > 0 ? ", " : "") << repeat_rps_flat[p][k];
+    }
+    out << "],\n      \"repeat_requests_per_sec_reference\": [";
+    for (size_t k = 0; k < repeat_rps_ref[p].size(); ++k) {
+      out << (k > 0 ? ", " : "") << repeat_rps_ref[p][k];
+    }
+    out << "]\n    }" << (p == 0 ? "," : "") << "\n";
+  }
+  out << "  },\n"
+      << "  \"combined_single_thread_speedup\": " << combined_speedup << ",\n"
+      << "  \"fleet\": {\n"
+      << "    \"jobs\": " << flat_jobs.size() << ",\n"
+      << "    \"digest_match\": true\n"
+      << "  }\n"
+      << "}\n";
+  std::printf("Wrote %s (combined single-thread speedup %.2fx)\n", out_path.c_str(),
+              combined_speedup);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Shared hash mixing for the flat hot-path containers and the trace
+// aggregation maps.
+//
+// libstdc++'s std::hash<uint64_t> is the identity function, which is fine for
+// the chained std::unordered_map but catastrophic for open addressing: video
+// ids are assigned densely, so identity-hashed keys cluster into one long
+// probe run. Every flat container therefore finalizes whatever Hash functor
+// it is given through MixU64 (a full-avalanche SplitMix64/Murmur3 finalizer),
+// and the trace-analysis maps use U64Hash directly so their uint64 keys get
+// the same treatment.
+
+#ifndef VCDN_SRC_CONTAINER_FAST_HASH_H_
+#define VCDN_SRC_CONTAINER_FAST_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vcdn::container {
+
+// Full-avalanche 64-bit mix (the SplitMix64 / Murmur3 fmix64 finalizer):
+// every input bit flips every output bit with probability ~1/2.
+inline uint64_t MixU64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Drop-in replacement for std::hash<uint64_t> with real avalanche behavior.
+struct U64Hash {
+  size_t operator()(uint64_t x) const { return static_cast<size_t>(MixU64(x)); }
+};
+
+}  // namespace vcdn::container
+
+#endif  // VCDN_SRC_CONTAINER_FAST_HASH_H_

@@ -14,6 +14,11 @@
 // entry to the head (most recent); the tail is the least recently used entry.
 // Inserting with an arbitrary recency other than "now" is intentionally not
 // supported (mirrors the paper's note).
+//
+// This is the REFERENCE implementation: the hot paths run on FlatLruMap
+// (flat_lru_map.h), and the differential test drives both through ~1M mixed
+// operations asserting identical observable state. Keep the two APIs in
+// sync (Reserve/PeekMut here exist for that parity and are trivial).
 
 #ifndef VCDN_SRC_CONTAINER_LRU_MAP_H_
 #define VCDN_SRC_CONTAINER_LRU_MAP_H_
@@ -37,10 +42,14 @@ class LruMap {
 
   LruMap() = default;
 
+  // API parity with FlatLruMap; the node-based containers cannot pre-place
+  // entries, so only the index benefits.
+  void Reserve(size_t capacity) { index_.reserve(capacity); }
+
   size_t size() const { return index_.size(); }
   bool empty() const { return index_.empty(); }
 
-  bool Contains(const Key& key) const { return index_.count(key) > 0; }
+  bool Contains(const Key& key) const { return index_.find(key) != index_.end(); }
 
   // Inserts (or overwrites) and makes the entry most-recent. Returns true if
   // the key was newly inserted.
@@ -56,8 +65,32 @@ class LruMap {
     return true;
   }
 
+  // Overload that avoids constructing a Value when the key is already
+  // present (the xLRU-tracker hot path): touches the entry if present,
+  // default-inserts otherwise, and returns the value for in-place
+  // assignment.
+  Value* InsertOrTouch(const Key& key) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      return &it->second->value;
+    }
+    order_.push_front(Entry{key, Value()});
+    index_.emplace(key, order_.begin());
+    return &order_.begin()->value;
+  }
+
   // Returns the value without changing recency, or nullptr if absent.
   const Value* Peek(const Key& key) const {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return nullptr;
+    }
+    return &it->second->value;
+  }
+
+  // Mutable Peek: in-place value update without a recency change.
+  Value* PeekMut(const Key& key) {
     auto it = index_.find(key);
     if (it == index_.end()) {
       return nullptr;

@@ -11,6 +11,12 @@
 //
 // Ties on score are broken deterministically by id so iteration order is
 // reproducible across platforms.
+//
+// This is the REFERENCE implementation: the hot paths run on ScoreHeap
+// (score_heap.h). RefScoreHeap below adapts this set to the ScoreHeap API so
+// the differential test and the reference cache instantiations
+// (container::ReferenceContainers) can drive both through identical
+// operation sequences.
 
 #ifndef VCDN_SRC_CONTAINER_ORDERED_KEY_SET_H_
 #define VCDN_SRC_CONTAINER_ORDERED_KEY_SET_H_
@@ -111,6 +117,51 @@ class OrderedKeySet {
  private:
   std::set<Item> ordered_;
   std::unordered_map<Id, Score, Hash> score_by_id_;
+};
+
+// Adapter presenting OrderedKeySet through the directional ScoreHeap API
+// (Top/PopTop/ScanInOrder). kMaxFirst = false maps Top to Min (ascending
+// scan), kMaxFirst = true maps Top to Max (descending scan) -- exactly the
+// (score, id) orders ScoreHeap produces, so the two are interchangeable in
+// the differential tests and the reference cache instantiations.
+template <typename Id, typename Score, typename Hash = std::hash<Id>, bool kMaxFirst = false>
+class RefScoreHeap {
+ public:
+  using Item = typename OrderedKeySet<Id, Score, Hash>::Item;
+
+  void Reserve(size_t capacity) { (void)capacity; }  // node-based: nothing to pre-place
+
+  size_t size() const { return set_.size(); }
+  bool empty() const { return set_.empty(); }
+  bool Contains(const Id& id) const { return set_.Contains(id); }
+  const Score* GetScore(const Id& id) const { return set_.GetScore(id); }
+  bool InsertOrUpdate(const Id& id, const Score& score) { return set_.InsertOrUpdate(id, score); }
+  bool Erase(const Id& id) { return set_.Erase(id); }
+  void Clear() { set_.Clear(); }
+
+  const Item& Top() const { return kMaxFirst ? set_.Max() : set_.Min(); }
+  Item PopTop() { return kMaxFirst ? set_.PopMax() : set_.PopMin(); }
+
+  template <typename Fn>
+  void ScanInOrder(Fn&& fn) const {
+    if constexpr (kMaxFirst) {
+      for (auto it = set_.end(); it != set_.begin();) {
+        --it;
+        if (!fn(*it)) {
+          return;
+        }
+      }
+    } else {
+      for (const Item& item : set_) {
+        if (!fn(item)) {
+          return;
+        }
+      }
+    }
+  }
+
+ private:
+  OrderedKeySet<Id, Score, Hash> set_;
 };
 
 }  // namespace vcdn::container

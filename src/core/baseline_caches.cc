@@ -20,12 +20,13 @@ RequestOutcome AlwaysFillLruCache::HandleRequestImpl(const trace::Request& reque
     return outcome;
   }
 
-  std::vector<uint32_t> missing;
+  std::vector<uint32_t>& missing = missing_scratch_;
+  missing.clear();
   for (uint32_t c = range.first; c <= range.last; ++c) {
     ChunkId chunk{request.video, c};
-    if (disk_.Contains(chunk)) {
+    if (double* at = disk_.GetAndTouch(chunk)) {
+      *at = now;
       ++outcome.hit_chunks;
-      disk_.InsertOrTouch(chunk, now);
     } else {
       missing.push_back(c);
     }
@@ -70,7 +71,8 @@ RequestOutcome FillLfuCache::HandleRequestImpl(const trace::Request& request) {
     return outcome;
   }
 
-  std::vector<ChunkId> missing;
+  std::vector<ChunkId>& missing = missing_scratch_;
+  missing.clear();
   for (uint32_t c = range.first; c <= range.last; ++c) {
     ChunkId chunk{request.video, c};
     const double* key = cached_.GetScore(chunk);
@@ -84,20 +86,29 @@ RequestOutcome FillLfuCache::HandleRequestImpl(const trace::Request& request) {
   uint64_t needed = cached_.size() + missing.size();
   uint64_t to_evict =
       needed > config_.disk_capacity_chunks ? needed - config_.disk_capacity_chunks : 0;
-  for (uint64_t i = 0; i < to_evict; ++i) {
+  if (to_evict > 0) {
     // The chunks of this request were just bumped (count >= 1 at now), so a
     // fresh fill (count exactly 1) ties at worst and id-order tie-breaking
     // cannot evict a chunk inserted in this same loop... except pathological
-    // id ties; skip current-request chunks defensively.
-    auto it = cached_.begin();
-    while (it != cached_.end() && it->second.video == request.video &&
-           it->second.index >= range.first && it->second.index <= range.last) {
-      ++it;
+    // id ties; skip current-request chunks defensively. Collecting the
+    // victims in one ordered scan is equivalent to the reference's
+    // erase-min-per-round loop: erasing a victim does not reorder the rest.
+    std::vector<ChunkId>& victims = victims_scratch_;
+    victims.clear();
+    cached_.ScanInOrder([&](const auto& item) {
+      const ChunkId& chunk = item.second;
+      if (chunk.video == request.video && chunk.index >= range.first &&
+          chunk.index <= range.last) {
+        return true;
+      }
+      victims.push_back(chunk);
+      return victims.size() < to_evict;
+    });
+    VCDN_CHECK(victims.size() == to_evict);
+    for (const ChunkId& victim : victims) {
+      cached_.Erase(victim);
+      ++outcome.evicted_chunks;
     }
-    VCDN_CHECK(it != cached_.end());
-    ChunkId victim = it->second;
-    cached_.Erase(victim);
-    ++outcome.evicted_chunks;
   }
   double fresh_key = std::log2(1.0) + now / aging_halflife_;  // count = 1
   for (const ChunkId& chunk : missing) {
@@ -111,7 +122,7 @@ RequestOutcome FillLfuCache::HandleRequestImpl(const trace::Request& request) {
 uint64_t FillLfuCache::EvictDownTo(uint64_t max_chunks) {
   uint64_t evicted = 0;
   while (cached_.size() > max_chunks) {
-    cached_.PopMin();
+    cached_.PopTop();  // least frequent first
     ++evicted;
   }
   return evicted;
@@ -119,6 +130,7 @@ uint64_t FillLfuCache::EvictDownTo(uint64_t max_chunks) {
 
 void BeladyCache::Prepare(const trace::Trace& trace) {
   futures_.clear();
+  futures_.reserve(trace.requests.size());
   for (const trace::Request& r : trace.requests) {
     ChunkRange range = ToChunkRange(r, config_.chunk_bytes);
     for (uint32_t c = range.first; c <= range.last; ++c) {
@@ -131,7 +143,7 @@ void BeladyCache::Prepare(const trace::Trace& trace) {
 uint64_t BeladyCache::EvictDownTo(uint64_t max_chunks) {
   uint64_t evicted = 0;
   while (cached_.size() > max_chunks) {
-    cached_.PopMax();
+    cached_.PopTop();  // farthest future first
     ++evicted;
   }
   return evicted;
@@ -147,7 +159,8 @@ RequestOutcome BeladyCache::HandleRequestImpl(const trace::Request& request) {
     return outcome;
   }
 
-  std::vector<ChunkId> missing;
+  std::vector<ChunkId>& missing = missing_scratch_;
+  missing.clear();
   for (uint32_t c = range.first; c <= range.last; ++c) {
     ChunkId chunk{request.video, c};
     auto it = futures_.find(chunk);
@@ -173,7 +186,7 @@ RequestOutcome BeladyCache::HandleRequestImpl(const trace::Request& request) {
   for (uint64_t i = 0; i < to_evict; ++i) {
     // The farthest-future chunk cannot be one of this request's chunks: hits
     // were just re-keyed to imminent times and misses are not cached yet.
-    cached_.PopMax();
+    cached_.PopTop();
     ++outcome.evicted_chunks;
   }
   for (const ChunkId& chunk : missing) {

@@ -12,6 +12,10 @@
 //     (evict the chunk requested farthest in the future). The classic
 //     optimal *replacement* policy, which still lacks an admission/redirect
 //     decision; contrasted with Psychic/Optimal in tests and benches.
+//
+// All three run on the flat hot-path containers (FlatLruMap / ScoreHeap);
+// the node-based reference containers remain available through the policy
+// header for the A/B instantiations of xLRU and Cafe.
 
 #ifndef VCDN_SRC_CORE_BASELINE_CACHES_H_
 #define VCDN_SRC_CORE_BASELINE_CACHES_H_
@@ -20,15 +24,17 @@
 #include <unordered_map>
 #include <vector>
 
-#include "src/container/lru_map.h"
-#include "src/container/ordered_key_set.h"
+#include "src/container/flat_lru_map.h"
+#include "src/container/score_heap.h"
 #include "src/core/cache_algorithm.h"
 
 namespace vcdn::core {
 
 class AlwaysFillLruCache : public CacheAlgorithm {
  public:
-  explicit AlwaysFillLruCache(const CacheConfig& config) : CacheAlgorithm(config) {}
+  explicit AlwaysFillLruCache(const CacheConfig& config) : CacheAlgorithm(config) {
+    disk_.Reserve(static_cast<size_t>(config.disk_capacity_chunks));
+  }
 
   std::string_view name() const override { return "FillLRU"; }
   uint64_t used_chunks() const override { return disk_.size(); }
@@ -39,7 +45,8 @@ class AlwaysFillLruCache : public CacheAlgorithm {
   uint64_t EvictDownTo(uint64_t max_chunks) override;  // LRU order
 
  private:
-  container::LruMap<ChunkId, double, ChunkIdHash> disk_;
+  container::FlatLruMap<ChunkId, double, ChunkIdHash> disk_;
+  std::vector<uint32_t> missing_scratch_;  // reused: no steady-state allocation
 };
 
 // Classic fill-always cache with Least-Frequently-Used replacement (Sec. 2
@@ -51,6 +58,7 @@ class FillLfuCache : public CacheAlgorithm {
   explicit FillLfuCache(const CacheConfig& config, double aging_halflife_seconds = 6.0 * 3600.0)
       : CacheAlgorithm(config), aging_halflife_(aging_halflife_seconds) {
     VCDN_CHECK(aging_halflife_seconds > 0.0);
+    cached_.Reserve(static_cast<size_t>(config.disk_capacity_chunks));
   }
 
   std::string_view name() const override { return "FillLFU"; }
@@ -69,14 +77,18 @@ class FillLfuCache : public CacheAlgorithm {
   double BumpKey(double old_key, double now) const;
 
   double aging_halflife_;
-  // Cached chunks ordered by the log-space frequency key; Min() is the
+  // Cached chunks ordered by the log-space frequency key; Top() is the
   // least frequently used chunk.
-  container::OrderedKeySet<ChunkId, double, ChunkIdHash> cached_;
+  container::ScoreHeap<ChunkId, double, ChunkIdHash, /*kMaxFirst=*/false> cached_;
+  std::vector<ChunkId> missing_scratch_;
+  std::vector<ChunkId> victims_scratch_;
 };
 
 class BeladyCache : public CacheAlgorithm {
  public:
-  explicit BeladyCache(const CacheConfig& config) : CacheAlgorithm(config) {}
+  explicit BeladyCache(const CacheConfig& config) : CacheAlgorithm(config) {
+    cached_.Reserve(static_cast<size_t>(config.disk_capacity_chunks));
+  }
 
   void Prepare(const trace::Trace& trace) override;
   std::string_view name() const override { return "Belady"; }
@@ -95,8 +107,9 @@ class BeladyCache : public CacheAlgorithm {
 
   bool prepared_ = false;
   std::unordered_map<ChunkId, FutureList, ChunkIdHash> futures_;
-  // Scored by next request time; Max() = farthest future = Belady victim.
-  container::OrderedKeySet<ChunkId, double, ChunkIdHash> cached_;
+  // Scored by next request time; Top() = farthest future = Belady victim.
+  container::ScoreHeap<ChunkId, double, ChunkIdHash, /*kMaxFirst=*/true> cached_;
+  std::vector<ChunkId> missing_scratch_;
 };
 
 }  // namespace vcdn::core

@@ -15,41 +15,54 @@ constexpr double kInfinity = std::numeric_limits<double>::infinity();
 constexpr double kMinIat = 1e-6;
 }  // namespace
 
-CafeCache::CafeCache(const CacheConfig& config, const CafeOptions& options)
+template <typename C>
+CafeCacheT<C>::CafeCacheT(const CacheConfig& config, const CafeOptions& options)
     : CacheAlgorithm(config), options_(options) {
   VCDN_CHECK(options_.gamma > 0.0 && options_.gamma <= 1.0);
   VCDN_CHECK(options_.history_retention_factor > 0.0);
+  const auto capacity = static_cast<size_t>(config.disk_capacity_chunks);
+  cached_.Reserve(capacity);
+  cached_stats_.Reserve(capacity);
+  // History holds roughly as many tracked-but-uncached chunks as the disk
+  // holds cached ones (the cleanup horizon scales with cache age).
+  history_.Reserve(capacity);
+  history_by_key_.Reserve(capacity);
+  video_seen_.Reserve(capacity);
 }
 
-double CafeCache::IatOf(const ChunkStat& stat, double now) const {
+template <typename C>
+double CafeCacheT<C>::IatOf(const ChunkStat& stat, double now) const {
   // Eq. (8).
   return options_.gamma * (now - stat.t_last) + (1.0 - options_.gamma) * stat.dt;
 }
 
-double CafeCache::VirtualKey(const ChunkStat& stat) const {
+template <typename C>
+double CafeCacheT<C>::VirtualKey(const ChunkStat& stat) const {
   // Theorem 1 with T0 = 0: key = T0 - IAT(T0) = gamma*t_last - (1-gamma)*dt.
   return options_.gamma * stat.t_last - (1.0 - options_.gamma) * stat.dt;
 }
 
-void CafeCache::UpdateStat(ChunkStat& stat, double now) const {
+template <typename C>
+void CafeCacheT<C>::UpdateStat(ChunkStat& stat, double now) const {
   stat.dt = options_.gamma * (now - stat.t_last) + (1.0 - options_.gamma) * stat.dt;
   stat.t_last = now;
 }
 
-double CafeCache::CacheAge(double now) const {
+template <typename C>
+double CafeCacheT<C>::CacheAge(double now) const {
   if (cached_.empty()) {
     return 0.0;
   }
-  const ChunkId& least_popular = cached_.Min().second;
-  auto it = cached_stats_.find(least_popular);
-  VCDN_DCHECK(it != cached_stats_.end());
-  return std::max(0.0, IatOf(it->second, now));
+  const ChunkId& least_popular = cached_.Top().second;
+  const ChunkStat* stat = cached_stats_.Peek(least_popular);
+  VCDN_DCHECK(stat != nullptr);
+  return std::max(0.0, IatOf(*stat, now));
 }
 
-double CafeCache::EstimateIat(const ChunkId& chunk, double now) const {
-  auto cached_it = cached_stats_.find(chunk);
-  if (cached_it != cached_stats_.end()) {
-    return std::max(kMinIat, IatOf(cached_it->second, now));
+template <typename C>
+double CafeCacheT<C>::EstimateIat(const ChunkId& chunk, double now) const {
+  if (const ChunkStat* cached_stat = cached_stats_.Peek(chunk)) {
+    return std::max(kMinIat, IatOf(*cached_stat, now));
   }
   if (const ChunkStat* stat = history_.Peek(chunk)) {
     return std::max(kMinIat, IatOf(*stat, now));
@@ -61,9 +74,9 @@ double CafeCache::EstimateIat(const ChunkId& chunk, double now) const {
     if (vit != video_chunks_.end() && !vit->second.empty()) {
       double worst = 0.0;
       for (uint32_t index : vit->second) {
-        auto sit = cached_stats_.find(ChunkId{chunk.video, index});
-        VCDN_DCHECK(sit != cached_stats_.end());
-        worst = std::max(worst, IatOf(sit->second, now));
+        const ChunkStat* stat = cached_stats_.Peek(ChunkId{chunk.video, index});
+        VCDN_DCHECK(stat != nullptr);
+        worst = std::max(worst, IatOf(*stat, now));
       }
       return std::max(kMinIat, worst);
     }
@@ -71,7 +84,8 @@ double CafeCache::EstimateIat(const ChunkId& chunk, double now) const {
   return kInfinity;
 }
 
-void CafeCache::CleanupHistory(double now) {
+template <typename C>
+void CafeCacheT<C>::CleanupHistory(double now) {
   double age = CacheAge(now);
   if (age <= 0.0) {
     return;
@@ -86,27 +100,31 @@ void CafeCache::CleanupHistory(double now) {
   }
 }
 
-void CafeCache::HistoryPut(const ChunkId& chunk, const ChunkStat& stat) {
+template <typename C>
+void CafeCacheT<C>::HistoryPut(const ChunkId& chunk, const ChunkStat& stat) {
   history_.InsertOrTouch(chunk, stat);
   history_by_key_.InsertOrUpdate(chunk, VirtualKey(stat));
 }
 
-void CafeCache::HistoryErase(const ChunkId& chunk) {
+template <typename C>
+void CafeCacheT<C>::HistoryErase(const ChunkId& chunk) {
   history_.Erase(chunk);
   history_by_key_.Erase(chunk);
 }
 
-void CafeCache::CacheInsert(const ChunkId& chunk, const ChunkStat& stat) {
-  cached_stats_.emplace(chunk, stat);
+template <typename C>
+void CafeCacheT<C>::CacheInsert(const ChunkId& chunk, const ChunkStat& stat) {
+  cached_stats_.InsertOrTouch(chunk, stat);
   cached_.InsertOrUpdate(chunk, VirtualKey(stat));
   video_chunks_[chunk.video].insert(chunk.index);
 }
 
-void CafeCache::CacheEvict(const ChunkId& chunk) {
-  auto sit = cached_stats_.find(chunk);
-  VCDN_DCHECK(sit != cached_stats_.end());
-  HistoryPut(chunk, sit->second);
-  cached_stats_.erase(sit);
+template <typename C>
+void CafeCacheT<C>::CacheEvict(const ChunkId& chunk) {
+  const ChunkStat* stat = cached_stats_.Peek(chunk);
+  VCDN_DCHECK(stat != nullptr);
+  HistoryPut(chunk, *stat);
+  cached_stats_.Erase(chunk);
   cached_.Erase(chunk);
   auto vit = video_chunks_.find(chunk.video);
   vit->second.erase(chunk.index);
@@ -115,17 +133,19 @@ void CafeCache::CacheEvict(const ChunkId& chunk) {
   }
 }
 
-uint64_t CafeCache::EvictDownTo(uint64_t max_chunks) {
+template <typename C>
+uint64_t CafeCacheT<C>::EvictDownTo(uint64_t max_chunks) {
   uint64_t evicted = 0;
   while (cached_.size() > max_chunks) {
-    ChunkId victim = cached_.Min().second;  // copy: eviction invalidates refs
+    ChunkId victim = cached_.Top().second;  // copy: eviction invalidates refs
     CacheEvict(victim);
     ++evicted;
   }
   return evicted;
 }
 
-uint32_t CafeCache::ProactiveFill(double now) {
+template <typename C>
+uint32_t CafeCacheT<C>::ProactiveFill(double now) {
   // Off-peak only: the smoothed request rate must sit well below the peak.
   if (rate_estimate_ <= 0.0 || peak_rate_ <= 0.0 ||
       rate_estimate_ > options_.proactive_rate_threshold * peak_rate_) {
@@ -135,7 +155,7 @@ uint32_t CafeCache::ProactiveFill(double now) {
   const double min_cost = cost_.min_cost();
   uint32_t filled = 0;
   while (filled < options_.proactive_fills_per_request && !history_by_key_.empty()) {
-    auto [key, chunk] = history_by_key_.Max();  // most popular uncached chunk
+    auto [key, chunk] = history_by_key_.Top();  // most popular uncached chunk
     const ChunkStat* stat = history_.Peek(chunk);
     VCDN_DCHECK(stat != nullptr);
 
@@ -145,12 +165,12 @@ uint32_t CafeCache::ProactiveFill(double now) {
     double gain = window / std::max(kMinIat, IatOf(*stat, now)) * min_cost;
     bool disk_full = cached_.size() >= config_.disk_capacity_chunks;
     if (disk_full) {
-      if (cached_.empty() || key <= cached_.Min().first) {
+      if (cached_.empty() || key <= cached_.Top().first) {
         break;
       }
-      auto vit = cached_stats_.find(cached_.Min().second);
-      VCDN_DCHECK(vit != cached_stats_.end());
-      gain -= window / std::max(kMinIat, IatOf(vit->second, now)) * min_cost;
+      const ChunkStat* victim_stat = cached_stats_.Peek(cached_.Top().second);
+      VCDN_DCHECK(victim_stat != nullptr);
+      gain -= window / std::max(kMinIat, IatOf(*victim_stat, now)) * min_cost;
     }
     if (gain <= cost_.fill_cost() * options_.proactive_cost_discount) {
       // Candidates are popularity-ordered; nothing further down can pay.
@@ -160,7 +180,7 @@ uint32_t CafeCache::ProactiveFill(double now) {
     ChunkStat moved = *stat;
     HistoryErase(chunk);
     if (disk_full) {
-      ChunkId victim = cached_.Min().second;  // copy: eviction invalidates refs
+      ChunkId victim = cached_.Top().second;  // copy: eviction invalidates refs
       CacheEvict(victim);
     }
     CacheInsert(chunk, moved);
@@ -169,7 +189,8 @@ uint32_t CafeCache::ProactiveFill(double now) {
   return filled;
 }
 
-void CafeCache::OnAttachMetrics(obs::MetricsRegistry& registry, const std::string& prefix) {
+template <typename C>
+void CafeCacheT<C>::OnAttachMetrics(obs::MetricsRegistry& registry, const std::string& prefix) {
   admit_serve_total_ = registry.GetCounter(prefix + "admit_serve_total");
   admit_redirect_cost_total_ = registry.GetCounter(prefix + "admit_redirect_cost_total");
   admit_redirect_unseen_total_ = registry.GetCounter(prefix + "admit_redirect_unseen_total");
@@ -181,14 +202,16 @@ void CafeCache::OnAttachMetrics(obs::MetricsRegistry& registry, const std::strin
   request_rate_gauge_ = registry.GetGauge(prefix + "request_rate_per_sec");
 }
 
-void CafeCache::OnOutcomeRecorded() {
+template <typename C>
+void CafeCacheT<C>::OnOutcomeRecorded() {
   history_chunks_gauge_.Set(static_cast<double>(history_.size()));
   tracked_videos_gauge_.Set(static_cast<double>(video_seen_.size()));
   cache_age_gauge_.Set(CacheAge(last_arrival_));
   request_rate_gauge_.Set(rate_estimate_);
 }
 
-RequestOutcome CafeCache::HandleRequestImpl(const trace::Request& request) {
+template <typename C>
+RequestOutcome CafeCacheT<C>::HandleRequestImpl(const trace::Request& request) {
   const double now = request.arrival_time;
   if (first_request_time_ < 0.0) {
     first_request_time_ = now;
@@ -197,8 +220,10 @@ RequestOutcome CafeCache::HandleRequestImpl(const trace::Request& request) {
   ChunkRange range = ToChunkRange(request, config_.chunk_bytes);
 
   // Classify the requested chunks (S) into present and missing (S').
-  std::vector<ChunkId> all_chunks;
-  std::vector<ChunkId> missing;
+  std::vector<ChunkId>& all_chunks = all_chunks_scratch_;
+  std::vector<ChunkId>& missing = missing_scratch_;
+  all_chunks.clear();
+  missing.clear();
   all_chunks.reserve(range.count());
   for (uint32_t c = range.first; c <= range.last; ++c) {
     ChunkId chunk{request.video, c};
@@ -216,7 +241,8 @@ RequestOutcome CafeCache::HandleRequestImpl(const trace::Request& request) {
   video_seen_.InsertOrTouch(request.video, now);
 
   bool admit = false;
-  std::vector<std::pair<ChunkId, double>> victims;  // (chunk, IAT at now)
+  std::vector<std::pair<ChunkId, double>>& victims = victims_scratch_;  // (chunk, IAT at now)
+  victims.clear();
   if (video_seen && range.count() <= config_.disk_capacity_chunks) {
     // Select eviction victims S'': the least popular cached chunks, skipping
     // requested ones. Only as many as the fill would overflow the disk.
@@ -225,18 +251,20 @@ RequestOutcome CafeCache::HandleRequestImpl(const trace::Request& request) {
                              ? needed - config_.disk_capacity_chunks
                              : 0;
     if (evictions > 0) {
-      for (const auto& [key, chunk] : cached_) {
+      cached_.ScanInOrder([&](const auto& item) {
+        const ChunkId& chunk = item.second;
         if (victims.size() >= evictions) {
-          break;
+          return false;
         }
         if (chunk.video == request.video && chunk.index >= range.first &&
             chunk.index <= range.last) {
-          continue;  // never evict a chunk this request needs
+          return true;  // never evict a chunk this request needs
         }
-        auto sit = cached_stats_.find(chunk);
-        VCDN_DCHECK(sit != cached_stats_.end());
-        victims.emplace_back(chunk, std::max(kMinIat, IatOf(sit->second, now)));
-      }
+        const ChunkStat* stat = cached_stats_.Peek(chunk);
+        VCDN_DCHECK(stat != nullptr);
+        victims.emplace_back(chunk, std::max(kMinIat, IatOf(*stat, now)));
+        return victims.size() < evictions;
+      });
       VCDN_CHECK(victims.size() == evictions);
     }
 
@@ -272,11 +300,10 @@ RequestOutcome CafeCache::HandleRequestImpl(const trace::Request& request) {
       ++outcome.evicted_chunks;
     }
     for (const ChunkId& chunk : all_chunks) {
-      auto sit = cached_stats_.find(chunk);
-      if (sit != cached_stats_.end()) {
+      if (ChunkStat* stat = cached_stats_.PeekMut(chunk)) {
         // Hit: EWMA update and re-key.
-        UpdateStat(sit->second, now);
-        cached_.InsertOrUpdate(chunk, VirtualKey(sit->second));
+        UpdateStat(*stat, now);
+        cached_.InsertOrUpdate(chunk, VirtualKey(*stat));
         continue;
       }
       // Fill: seed the stat from history, or initialize a fresh one.
@@ -306,10 +333,9 @@ RequestOutcome CafeCache::HandleRequestImpl(const trace::Request& request) {
     // chunk's stat (cached chunks get re-keyed, uncached ones tracked in
     // history).
     for (const ChunkId& chunk : all_chunks) {
-      auto sit = cached_stats_.find(chunk);
-      if (sit != cached_stats_.end()) {
-        UpdateStat(sit->second, now);
-        cached_.InsertOrUpdate(chunk, VirtualKey(sit->second));
+      if (ChunkStat* cached_stat = cached_stats_.PeekMut(chunk)) {
+        UpdateStat(*cached_stat, now);
+        cached_.InsertOrUpdate(chunk, VirtualKey(*cached_stat));
         continue;
       }
       ChunkStat stat;
@@ -346,5 +372,8 @@ RequestOutcome CafeCache::HandleRequestImpl(const trace::Request& request) {
   CleanupHistory(now);
   return outcome;
 }
+
+template class CafeCacheT<container::FlatContainers>;
+template class CafeCacheT<container::ReferenceContainers>;
 
 }  // namespace vcdn::core

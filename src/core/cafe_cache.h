@@ -11,10 +11,9 @@
 //
 // Chunk popularity is a per-chunk EWMA inter-arrival time (Eq. 8):
 //   dt_x <- gamma (t - t_x) + (1 - gamma) dt_x;  t_x <- t
-//   IAT_x(t') = gamma (t' - t_x) + (1 - gamma) dt_x
 //
-// Cached chunks are kept in an ordered set under the *virtual timestamp* of
-// Theorem 1 evaluated at the fixed reference T0 = 0:
+// Cached chunks are kept ordered under the *virtual timestamp* of Theorem 1
+// evaluated at the fixed reference T0 = 0:
 //   key_x = gamma * t_x - (1 - gamma) * dt_x
 // which orders chunks identically to IAT at any time (smaller key <=> larger
 // IAT <=> less popular). Keys must all be computed at one common T0 -- the
@@ -26,6 +25,13 @@
 // popular cached chunk. Chunks never seen before inherit the largest IAT
 // among their video's cached chunks (Sec. 6's final optimization); failing
 // that they contribute no expected future cost.
+//
+// The algorithm is templated on a container policy (containers.h): the
+// production CafeCache orders chunks in flat ScoreHeaps and keeps stats in
+// slab-backed FlatLruMaps; ReferenceCafeCache runs on the seed's
+// OrderedKeySet/LruMap. Both are explicitly instantiated in cafe_cache.cc
+// and must produce bit-identical replay results (ScoreHeap's tie-breaking
+// matches OrderedKeySet's (score, id) order exactly).
 
 #ifndef VCDN_SRC_CORE_CAFE_CACHE_H_
 #define VCDN_SRC_CORE_CAFE_CACHE_H_
@@ -33,10 +39,11 @@
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
-#include "src/container/lru_map.h"
-#include "src/container/ordered_key_set.h"
+#include "src/container/containers.h"
+#include "src/container/fast_hash.h"
 #include "src/core/cache_algorithm.h"
 
 namespace vcdn::core {
@@ -71,9 +78,10 @@ struct CafeOptions {
   double proactive_cost_discount = 0.5;
 };
 
-class CafeCache : public CacheAlgorithm {
+template <typename Containers>
+class CafeCacheT : public CacheAlgorithm {
  public:
-  CafeCache(const CacheConfig& config, const CafeOptions& options = {});
+  explicit CafeCacheT(const CacheConfig& config, const CafeOptions& options = {});
 
   std::string_view name() const override { return "Cafe"; }
   uint64_t used_chunks() const override { return cached_.size(); }
@@ -122,26 +130,33 @@ class CafeCache : public CacheAlgorithm {
 
   CafeOptions options_;
 
-  // Cached chunks ordered by virtual timestamp (ascending = least popular
-  // first), plus their popularity stats.
-  container::OrderedKeySet<ChunkId, double, ChunkIdHash> cached_;
-  std::unordered_map<ChunkId, ChunkStat, ChunkIdHash> cached_stats_;
+  // Cached chunks ordered by virtual timestamp (Top() = least popular),
+  // plus their popularity stats (recency order unused; the map is the flat
+  // slab store).
+  typename Containers::template MinHeapT<ChunkId, double, ChunkIdHash> cached_;
+  typename Containers::template LruMapT<ChunkId, ChunkStat, ChunkIdHash> cached_stats_;
   // Chunks of each video currently on disk (for the unseen-chunk estimate).
-  std::unordered_map<VideoId, std::unordered_set<uint32_t>> video_chunks_;
+  std::unordered_map<VideoId, std::unordered_set<uint32_t>, container::U64Hash> video_chunks_;
   // Popularity history of chunks *not* on disk, in recency order for cleanup.
-  container::LruMap<ChunkId, ChunkStat, ChunkIdHash> history_;
-  // The same chunks ordered by virtual timestamp (Max() = most popular
+  typename Containers::template LruMapT<ChunkId, ChunkStat, ChunkIdHash> history_;
+  // The same chunks ordered by virtual timestamp (Top() = most popular
   // uncached chunk), the proactive-fill candidate pool.
-  container::OrderedKeySet<ChunkId, double, ChunkIdHash> history_by_key_;
+  typename Containers::template MaxHeapT<ChunkId, double, ChunkIdHash> history_by_key_;
   // Videos ever seen (recency-ordered, cleaned with history_); a request for
   // a never-seen video is always redirected, as in xLRU.
-  container::LruMap<VideoId, double> video_seen_;
+  typename Containers::template LruMapT<VideoId, double> video_seen_;
   double first_request_time_ = -1.0;
 
   // Request-rate tracking for off-peak detection.
   double last_arrival_ = -1.0;
   double rate_estimate_ = 0.0;
   double peak_rate_ = 0.0;
+
+  // Reused across requests so the serve path does not allocate in steady
+  // state.
+  std::vector<ChunkId> all_chunks_scratch_;
+  std::vector<ChunkId> missing_scratch_;
+  std::vector<std::pair<ChunkId, double>> victims_scratch_;
 
   // Observability (no-ops until AttachMetrics): the admission-decision mix of
   // Eqs. (6)-(7) and the popularity-tracking queue depths.
@@ -155,6 +170,14 @@ class CafeCache : public CacheAlgorithm {
   obs::Gauge cache_age_gauge_;
   obs::Gauge request_rate_gauge_;
 };
+
+extern template class CafeCacheT<container::FlatContainers>;
+extern template class CafeCacheT<container::ReferenceContainers>;
+
+// The production cache runs on the flat containers; the reference
+// instantiation exists for A/B benchmarking and differential tests.
+using CafeCache = CafeCacheT<container::FlatContainers>;
+using ReferenceCafeCache = CafeCacheT<container::ReferenceContainers>;
 
 }  // namespace vcdn::core
 

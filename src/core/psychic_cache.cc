@@ -19,6 +19,9 @@ PsychicCache::PsychicCache(const CacheConfig& config, const PsychicOptions& opti
     : CacheAlgorithm(config), options_(options) {
   VCDN_CHECK(options_.future_horizon > 0);
   VCDN_CHECK(options_.age_smoothing > 0.0 && options_.age_smoothing <= 1.0);
+  const auto capacity = static_cast<size_t>(config.disk_capacity_chunks);
+  cached_.Reserve(capacity);
+  fill_time_.Reserve(capacity);
 }
 
 void PsychicCache::Prepare(const trace::Trace& trace) {
@@ -66,9 +69,9 @@ double PsychicCache::CacheAge(double now) const {
 uint64_t PsychicCache::EvictDownTo(uint64_t max_chunks) {
   uint64_t evicted = 0;
   while (cached_.size() > max_chunks) {
-    auto [key, chunk] = cached_.PopMax();
+    auto [key, chunk] = cached_.PopTop();  // farthest-future first
     (void)key;
-    fill_time_.erase(chunk);
+    fill_time_.Erase(chunk);
     ++evicted;
   }
   return evicted;
@@ -95,8 +98,10 @@ RequestOutcome PsychicCache::HandleRequestImpl(const trace::Request& request) {
 
   // Consume this request from every covered chunk's future list, so costs
   // below only see strictly-future requests.
-  std::vector<ChunkId> all_chunks;
-  std::vector<ChunkId> missing;
+  std::vector<ChunkId>& all_chunks = all_chunks_scratch_;
+  std::vector<ChunkId>& missing = missing_scratch_;
+  all_chunks.clear();
+  missing.clear();
   all_chunks.reserve(range.count());
   for (uint32_t c = range.first; c <= range.last; ++c) {
     ChunkId chunk{request.video, c};
@@ -114,22 +119,23 @@ RequestOutcome PsychicCache::HandleRequestImpl(const trace::Request& request) {
   outcome.hit_chunks = static_cast<uint32_t>(all_chunks.size() - missing.size());
 
   bool admit = false;
-  std::vector<ChunkId> victims;
+  std::vector<ChunkId>& victims = victims_scratch_;
+  victims.clear();
   if (range.count() <= config_.disk_capacity_chunks) {
     // S'': cached chunks requested farthest in the future, skipping S.
     uint64_t needed = cached_.size() + missing.size();
     uint64_t evictions =
         needed > config_.disk_capacity_chunks ? needed - config_.disk_capacity_chunks : 0;
     if (evictions > 0) {
-      for (auto it = cached_.end(); it != cached_.begin() && victims.size() < evictions;) {
-        --it;
-        const ChunkId& chunk = it->second;
+      cached_.ScanInOrder([&](const auto& item) {
+        const ChunkId& chunk = item.second;
         if (chunk.video == request.video && chunk.index >= range.first &&
             chunk.index <= range.last) {
-          continue;
+          return true;
         }
         victims.push_back(chunk);
-      }
+        return victims.size() < evictions;
+      });
       VCDN_CHECK(victims.size() == evictions);
     }
 
@@ -156,10 +162,10 @@ RequestOutcome PsychicCache::HandleRequestImpl(const trace::Request& request) {
   if (admit) {
     for (const ChunkId& chunk : victims) {
       cached_.Erase(chunk);
-      auto ft = fill_time_.find(chunk);
-      VCDN_DCHECK(ft != fill_time_.end());
-      double residence = now - ft->second;
-      fill_time_.erase(ft);
+      const double* filled_at = fill_time_.Peek(chunk);
+      VCDN_DCHECK(filled_at != nullptr);
+      double residence = now - *filled_at;
+      fill_time_.Erase(chunk);
       if (!residence_initialized_) {
         average_residence_ = residence;
         residence_initialized_ = true;
@@ -172,11 +178,9 @@ RequestOutcome PsychicCache::HandleRequestImpl(const trace::Request& request) {
     for (const ChunkId& chunk : all_chunks) {
       const FutureList* future = FindFuture(chunk);
       double next_time = future != nullptr ? NextRequestTime(*future) : kInfinity;
-      if (cached_.Contains(chunk)) {
-        cached_.InsertOrUpdate(chunk, next_time);  // re-key: next request changed
-      } else {
-        cached_.InsertOrUpdate(chunk, next_time);
-        fill_time_.emplace(chunk, now);
+      // Re-keys if present (next request changed), fills otherwise.
+      if (cached_.InsertOrUpdate(chunk, next_time)) {
+        fill_time_.InsertOrTouch(chunk, now);
         ++outcome.filled_chunks;
       }
     }

@@ -24,7 +24,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "src/container/ordered_key_set.h"
+#include "src/container/flat_lru_map.h"
+#include "src/container/score_heap.h"
 #include "src/core/cache_algorithm.h"
 
 namespace vcdn::core {
@@ -76,15 +77,23 @@ class PsychicCache : public CacheAlgorithm {
   bool prepared_ = false;
 
   std::unordered_map<ChunkId, FutureList, ChunkIdHash> futures_;
-  // Cached chunks scored by next request time: Max() = farthest in the
-  // future = first eviction victim.
-  container::OrderedKeySet<ChunkId, double, ChunkIdHash> cached_;
-  // Fill time of each cached chunk, for residence-time tracking.
-  std::unordered_map<ChunkId, double, ChunkIdHash> fill_time_;
+  // Cached chunks scored by next request time: Top() = farthest in the
+  // future = first eviction victim (max-first heap, same (score, id) order
+  // as the reference OrderedKeySet's reverse iteration).
+  container::ScoreHeap<ChunkId, double, ChunkIdHash, /*kMaxFirst=*/true> cached_;
+  // Fill time of each cached chunk, for residence-time tracking (recency
+  // order unused; the map is the flat slab store).
+  container::FlatLruMap<ChunkId, double, ChunkIdHash> fill_time_;
 
   double first_request_time_ = -1.0;
   double average_residence_ = 0.0;
   bool residence_initialized_ = false;
+
+  // Reused across requests so the serve path does not allocate in steady
+  // state.
+  std::vector<ChunkId> all_chunks_scratch_;
+  std::vector<ChunkId> missing_scratch_;
+  std::vector<ChunkId> victims_scratch_;
 
   // Observability (no-ops until AttachMetrics).
   obs::Gauge window_gauge_;

@@ -14,16 +14,24 @@ namespace {
 constexpr double kTrackerRetentionSlack = 1.25;
 }  // namespace
 
-XlruCache::XlruCache(const CacheConfig& config) : CacheAlgorithm(config) {}
+template <typename C>
+XlruCacheT<C>::XlruCacheT(const CacheConfig& config) : CacheAlgorithm(config) {
+  disk_.Reserve(static_cast<size_t>(config.disk_capacity_chunks));
+  // The cleanup horizon bounds the tracker to roughly the videos that could
+  // still pass admission; disk capacity is a generous upper estimate.
+  tracker_.Reserve(static_cast<size_t>(config.disk_capacity_chunks));
+}
 
-double XlruCache::CacheAge(double now) const {
+template <typename C>
+double XlruCacheT<C>::CacheAge(double now) const {
   if (disk_.empty()) {
     return 0.0;
   }
   return now - disk_.Oldest().value;
 }
 
-void XlruCache::CleanupTracker(double now) {
+template <typename C>
+void XlruCacheT<C>::CleanupTracker(double now) {
   double age = CacheAge(now);
   if (age <= 0.0) {
     return;
@@ -34,7 +42,8 @@ void XlruCache::CleanupTracker(double now) {
   }
 }
 
-uint64_t XlruCache::EvictDownTo(uint64_t max_chunks) {
+template <typename C>
+uint64_t XlruCacheT<C>::EvictDownTo(uint64_t max_chunks) {
   uint64_t evicted = 0;
   while (disk_.size() > max_chunks) {
     disk_.PopOldest();
@@ -43,7 +52,8 @@ uint64_t XlruCache::EvictDownTo(uint64_t max_chunks) {
   return evicted;
 }
 
-void XlruCache::OnAttachMetrics(obs::MetricsRegistry& registry, const std::string& prefix) {
+template <typename C>
+void XlruCacheT<C>::OnAttachMetrics(obs::MetricsRegistry& registry, const std::string& prefix) {
   redirect_unseen_total_ = registry.GetCounter(prefix + "redirect_unseen_total");
   redirect_age_total_ = registry.GetCounter(prefix + "redirect_age_total");
   redirect_too_wide_total_ = registry.GetCounter(prefix + "redirect_too_wide_total");
@@ -51,12 +61,14 @@ void XlruCache::OnAttachMetrics(obs::MetricsRegistry& registry, const std::strin
   cache_age_gauge_ = registry.GetGauge(prefix + "cache_age_seconds");
 }
 
-void XlruCache::OnOutcomeRecorded() {
+template <typename C>
+void XlruCacheT<C>::OnOutcomeRecorded() {
   tracker_videos_gauge_.Set(static_cast<double>(tracker_.size()));
   cache_age_gauge_.Set(CacheAge(last_request_time_));
 }
 
-RequestOutcome XlruCache::HandleRequestImpl(const trace::Request& request) {
+template <typename C>
+RequestOutcome XlruCacheT<C>::HandleRequestImpl(const trace::Request& request) {
   const double now = request.arrival_time;
   last_request_time_ = now;
   RequestOutcome outcome = MakeOutcome(request);
@@ -67,7 +79,7 @@ RequestOutcome XlruCache::HandleRequestImpl(const trace::Request& request) {
   const double* last = tracker_.Peek(request.video);
   bool seen_before = last != nullptr;
   double last_time = seen_before ? *last : 0.0;
-  tracker_.InsertOrTouch(request.video, now);
+  *tracker_.InsertOrTouch(request.video) = now;
   CleanupTracker(now);
 
   bool disk_full = disk_.size() >= config_.disk_capacity_chunks;
@@ -92,12 +104,13 @@ RequestOutcome XlruCache::HandleRequestImpl(const trace::Request& request) {
   }
 
   // Serve: touch hits, fill misses (evicting the LRU chunks as needed).
-  std::vector<uint32_t> missing;
+  std::vector<uint32_t>& missing = missing_scratch_;
+  missing.clear();
   for (uint32_t c = range.first; c <= range.last; ++c) {
     ChunkId chunk{request.video, c};
-    if (disk_.Contains(chunk)) {
+    if (double* at = disk_.GetAndTouch(chunk)) {
+      *at = now;
       ++outcome.hit_chunks;
-      disk_.InsertOrTouch(chunk, now);
     } else {
       missing.push_back(c);
     }
@@ -118,5 +131,8 @@ RequestOutcome XlruCache::HandleRequestImpl(const trace::Request& request) {
   outcome.decision = Decision::kServe;
   return outcome;
 }
+
+template class XlruCacheT<container::FlatContainers>;
+template class XlruCacheT<container::ReferenceContainers>;
 
 }  // namespace vcdn::core

@@ -20,20 +20,27 @@
 // skipped (any previously seen video is admitted) but the
 // never-seen-before -> redirect rule still applies, which is what makes the
 // tracker meaningful from the first byte.
+//
+// The algorithm is templated on a container policy (containers.h): the
+// production XlruCache runs on the flat slab containers, ReferenceXlruCache
+// on the seed's node-based ones. Both are explicitly instantiated in
+// xlru_cache.cc and must produce bit-identical replay results.
 
 #ifndef VCDN_SRC_CORE_XLRU_CACHE_H_
 #define VCDN_SRC_CORE_XLRU_CACHE_H_
 
 #include <string_view>
+#include <vector>
 
-#include "src/container/lru_map.h"
+#include "src/container/containers.h"
 #include "src/core/cache_algorithm.h"
 
 namespace vcdn::core {
 
-class XlruCache : public CacheAlgorithm {
+template <typename Containers>
+class XlruCacheT : public CacheAlgorithm {
  public:
-  explicit XlruCache(const CacheConfig& config);
+  explicit XlruCacheT(const CacheConfig& config);
 
   std::string_view name() const override { return "xLRU"; }
   uint64_t used_chunks() const override { return disk_.size(); }
@@ -57,10 +64,13 @@ class XlruCache : public CacheAlgorithm {
   void CleanupTracker(double now);
 
   // video -> last access time, in recency order for O(1) cleanup.
-  container::LruMap<VideoId, double> tracker_;
+  typename Containers::template LruMapT<VideoId, double> tracker_;
   // {video, chunk} -> last access time, in recency order (LRU replacement).
-  container::LruMap<ChunkId, double, ChunkIdHash> disk_;
+  typename Containers::template LruMapT<ChunkId, double, ChunkIdHash> disk_;
   double last_request_time_ = 0.0;
+  // Reused across requests so the serve loop does not allocate in steady
+  // state.
+  std::vector<uint32_t> missing_scratch_;
 
   // Observability (no-ops until AttachMetrics): why requests were redirected,
   // and the popularity-tracker queue occupancy.
@@ -70,6 +80,14 @@ class XlruCache : public CacheAlgorithm {
   obs::Gauge tracker_videos_gauge_;
   obs::Gauge cache_age_gauge_;
 };
+
+extern template class XlruCacheT<container::FlatContainers>;
+extern template class XlruCacheT<container::ReferenceContainers>;
+
+// The production cache runs on the flat containers; the reference
+// instantiation exists for A/B benchmarking and differential tests.
+using XlruCache = XlruCacheT<container::FlatContainers>;
+using ReferenceXlruCache = XlruCacheT<container::ReferenceContainers>;
 
 }  // namespace vcdn::core
 

@@ -6,12 +6,24 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/container/fast_hash.h"
 #include "src/util/check.h"
 
 namespace vcdn::trace {
 
+namespace {
+// Aggregation maps in this file key on uint64 video/chunk ids whose low bits
+// are dense and sequential -- exactly the case where libstdc++'s identity
+// std::hash clusters; U64Hash mixes them. Pre-sizing is from the trace: a
+// few requests per distinct video is typical of the generated workloads.
+size_t EstimateDistinctVideos(const Trace& trace) {
+  return trace.requests.size() / 4 + 16;
+}
+}  // namespace
+
 std::vector<uint64_t> PopularityCurve(const Trace& trace) {
-  std::unordered_map<VideoId, uint64_t> hits;
+  std::unordered_map<VideoId, uint64_t, container::U64Hash> hits;
+  hits.reserve(EstimateDistinctVideos(trace));
   for (const Request& r : trace.requests) {
     ++hits[r.video];
   }
@@ -84,7 +96,8 @@ std::vector<uint64_t> WorkingSetGrowth(const Trace& trace, uint64_t chunk_bytes,
                                        const std::vector<double>& fractions) {
   std::vector<uint64_t> out;
   out.reserve(fractions.size());
-  std::unordered_set<uint64_t> seen;
+  std::unordered_set<uint64_t, container::U64Hash> seen;
+  seen.reserve(trace.requests.size());
   size_t next_request = 0;
   double prev_fraction = 0.0;
   for (double fraction : fractions) {
@@ -108,7 +121,8 @@ std::vector<uint64_t> WorkingSetGrowth(const Trace& trace, uint64_t chunk_bytes,
 
 uint64_t BytesForAccessShare(const Trace& trace, uint64_t chunk_bytes, double target_fraction) {
   VCDN_CHECK(target_fraction > 0.0 && target_fraction <= 1.0);
-  std::unordered_map<uint64_t, uint64_t> chunk_hits;
+  std::unordered_map<uint64_t, uint64_t, container::U64Hash> chunk_hits;
+  chunk_hits.reserve(trace.requests.size());
   uint64_t total = 0;
   for (const Request& r : trace.requests) {
     uint64_t first = r.byte_begin / chunk_bytes;

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/container/fast_hash.h"
 #include "src/util/check.h"
 
 namespace vcdn::trace {
@@ -15,8 +16,10 @@ DownsampledTrace DownsampleForOptimal(const Trace& trace, const DownsampleOption
   VCDN_CHECK(options.file_cap_bytes > 0);
   double window_end = options.window_start + options.window_seconds;
 
-  // Hit counts per file within the window.
-  std::unordered_map<VideoId, uint64_t> hits;
+  // Hit counts per file within the window. Keys are dense video ids --
+  // mixed hash (U64Hash) + pre-sizing from the trace, as in analysis.cc.
+  std::unordered_map<VideoId, uint64_t, container::U64Hash> hits;
+  hits.reserve(trace.requests.size() / 4 + 16);
   for (const Request& r : trace.requests) {
     if (r.arrival_time < options.window_start || r.arrival_time >= window_end) {
       continue;
@@ -45,7 +48,8 @@ DownsampledTrace DownsampleForOptimal(const Trace& trace, const DownsampleOption
   // Uniform selection over the sorted list: head, middle and tail all covered.
   size_t n = ranked.size();
   size_t want = std::min(options.num_files, n);
-  std::unordered_set<VideoId> selected_set;
+  std::unordered_set<VideoId, container::U64Hash> selected_set;
+  selected_set.reserve(want);
   for (size_t i = 0; i < want; ++i) {
     size_t idx = (want == 1) ? 0 : i * (n - 1) / (want - 1);
     if (selected_set.insert(ranked[idx].second).second) {

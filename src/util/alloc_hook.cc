@@ -1,0 +1,19 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/util/alloc_hook.h"
+
+namespace vcdn::util {
+
+namespace detail {
+thread_local uint64_t g_alloc_count = 0;
+thread_local uint64_t g_alloc_bytes = 0;
+bool g_alloc_hook_active = false;
+}  // namespace detail
+
+AllocStats AllocCounters() {
+  return AllocStats{detail::g_alloc_count, detail::g_alloc_bytes};
+}
+
+bool AllocHookActive() { return detail::g_alloc_hook_active; }
+
+}  // namespace vcdn::util

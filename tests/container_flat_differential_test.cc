@@ -1,0 +1,378 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Differential tests for the flat hot-path containers: FlatLruMap vs LruMap
+// and ScoreHeap vs RefScoreHeap (OrderedKeySet) are driven through ~1M mixed
+// seeded operations asserting identical observable state after every step,
+// then the templated caches (XlruCacheT, CafeCacheT) are replayed flat vs
+// reference with interleaved Resize/DropContents. Finally, the counting
+// allocator (vcdn_alloc_hook, linked into this test) asserts the flat
+// containers and the xLRU request path perform zero heap allocations in
+// steady state.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/container/flat_lru_map.h"
+#include "src/container/lru_map.h"
+#include "src/container/ordered_key_set.h"
+#include "src/container/score_heap.h"
+#include "src/core/cafe_cache.h"
+#include "src/core/chunk.h"
+#include "src/core/xlru_cache.h"
+#include "src/util/alloc_hook.h"
+#include "src/util/rng.h"
+
+namespace vcdn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FlatLruMap vs LruMap
+
+void ExpectLruStateEqual(const container::FlatLruMap<uint64_t, uint64_t>& flat,
+                         const container::LruMap<uint64_t, uint64_t>& ref) {
+  ASSERT_EQ(flat.size(), ref.size());
+  auto fit = flat.begin();
+  auto rit = ref.begin();
+  for (; fit != flat.end(); ++fit, ++rit) {
+    ASSERT_EQ(fit->key, rit->key);
+    ASSERT_EQ(fit->value, rit->value);
+  }
+}
+
+TEST(FlatDifferentialTest, LruMapMatchesReferenceThroughMixedOps) {
+  container::FlatLruMap<uint64_t, uint64_t> flat;
+  container::LruMap<uint64_t, uint64_t> ref;
+  flat.Reserve(1 << 14);
+  ref.Reserve(1 << 14);
+  util::Pcg32 rng(20260805);
+  constexpr size_t kOps = 1'000'000;
+  constexpr uint64_t kKeyRange = 1 << 14;
+  for (size_t i = 0; i < kOps; ++i) {
+    uint64_t key = rng.Next64() % kKeyRange;
+    uint32_t op = rng.NextBounded(100);
+    if (op < 35) {
+      uint64_t value = rng.Next64();
+      ASSERT_EQ(flat.InsertOrTouch(key, value), ref.InsertOrTouch(key, value));
+    } else if (op < 50) {
+      // Default-construct overload: both sides get the same in-place write.
+      uint64_t value = rng.Next64();
+      *flat.InsertOrTouch(key) = value;
+      *ref.InsertOrTouch(key) = value;
+    } else if (op < 68) {
+      uint64_t* a = flat.GetAndTouch(key);
+      uint64_t* b = ref.GetAndTouch(key);
+      ASSERT_EQ(a == nullptr, b == nullptr);
+      if (a != nullptr) {
+        ASSERT_EQ(*a, *b);
+      }
+    } else if (op < 78) {
+      const uint64_t* a = flat.Peek(key);
+      const uint64_t* b = ref.Peek(key);
+      ASSERT_EQ(a == nullptr, b == nullptr);
+      if (a != nullptr) {
+        ASSERT_EQ(*a, *b);
+      }
+    } else if (op < 83) {
+      uint64_t* a = flat.PeekMut(key);
+      uint64_t* b = ref.PeekMut(key);
+      ASSERT_EQ(a == nullptr, b == nullptr);
+      if (a != nullptr) {
+        uint64_t value = rng.Next64();
+        *a = value;
+        *b = value;
+      }
+    } else if (op < 88) {
+      ASSERT_EQ(flat.Contains(key), ref.Contains(key));
+    } else if (op < 95) {
+      ASSERT_EQ(flat.Erase(key), ref.Erase(key));
+    } else if (op < 99) {
+      ASSERT_EQ(flat.empty(), ref.empty());
+      if (!flat.empty()) {
+        auto a = flat.PopOldest();
+        auto b = ref.PopOldest();
+        ASSERT_EQ(a.key, b.key);
+        ASSERT_EQ(a.value, b.value);
+      }
+    } else if (rng.NextBounded(1000) == 0) {
+      flat.Clear();
+      ref.Clear();
+    }
+    if (!flat.empty()) {
+      ASSERT_EQ(flat.Oldest().key, ref.Oldest().key);
+      ASSERT_EQ(flat.Newest().key, ref.Newest().key);
+    }
+    if (i % 100'000 == 0) {
+      ExpectLruStateEqual(flat, ref);
+    }
+  }
+  ExpectLruStateEqual(flat, ref);
+}
+
+// ---------------------------------------------------------------------------
+// ScoreHeap vs RefScoreHeap (OrderedKeySet), both directions
+
+template <typename FlatHeap, typename RefHeap>
+void ExpectHeapOrderEqual(const FlatHeap& flat, const RefHeap& ref) {
+  ASSERT_EQ(flat.size(), ref.size());
+  std::vector<std::pair<double, uint64_t>> flat_order;
+  std::vector<std::pair<double, uint64_t>> ref_order;
+  flat_order.reserve(flat.size());
+  ref_order.reserve(ref.size());
+  flat.ScanInOrder([&](const auto& item) {
+    flat_order.push_back(item);
+    return true;
+  });
+  ref.ScanInOrder([&](const auto& item) {
+    ref_order.push_back(item);
+    return true;
+  });
+  ASSERT_EQ(flat_order, ref_order);
+}
+
+template <bool kMaxFirst>
+void RunScoreHeapDifferential(uint32_t seed) {
+  container::ScoreHeap<uint64_t, double, std::hash<uint64_t>, kMaxFirst> flat;
+  container::RefScoreHeap<uint64_t, double, std::hash<uint64_t>, kMaxFirst> ref;
+  flat.Reserve(1 << 12);
+  ref.Reserve(1 << 12);
+  util::Pcg32 rng(seed);
+  constexpr size_t kOps = 400'000;
+  constexpr uint64_t kIdRange = 1 << 12;
+  for (size_t i = 0; i < kOps; ++i) {
+    uint64_t id = rng.Next64() % kIdRange;
+    // Coarse scores force frequent ties so the (score, id) tie-break is
+    // exercised hard.
+    double score = static_cast<double>(rng.NextBounded(256));
+    uint32_t op = rng.NextBounded(100);
+    if (op < 45) {
+      ASSERT_EQ(flat.InsertOrUpdate(id, score), ref.InsertOrUpdate(id, score));
+    } else if (op < 60) {
+      ASSERT_EQ(flat.Erase(id), ref.Erase(id));
+    } else if (op < 70) {
+      const double* a = flat.GetScore(id);
+      const double* b = ref.GetScore(id);
+      ASSERT_EQ(a == nullptr, b == nullptr);
+      if (a != nullptr) {
+        ASSERT_EQ(*a, *b);
+      }
+    } else if (op < 75) {
+      ASSERT_EQ(flat.Contains(id), ref.Contains(id));
+    } else if (op < 85) {
+      ASSERT_EQ(flat.empty(), ref.empty());
+      if (!flat.empty()) {
+        ASSERT_EQ(flat.Top(), ref.Top());
+      }
+    } else if (op < 97) {
+      ASSERT_EQ(flat.empty(), ref.empty());
+      if (!flat.empty()) {
+        ASSERT_EQ(flat.PopTop(), ref.PopTop());
+      }
+    } else {
+      // Victim-selection shape: the first 8 items in order must agree.
+      std::vector<std::pair<double, uint64_t>> a;
+      std::vector<std::pair<double, uint64_t>> b;
+      flat.ScanInOrder([&](const auto& item) {
+        a.push_back(item);
+        return a.size() < 8;
+      });
+      ref.ScanInOrder([&](const auto& item) {
+        b.push_back(item);
+        return b.size() < 8;
+      });
+      ASSERT_EQ(a, b);
+    }
+    if (i == kOps / 2) {
+      flat.Clear();
+      ref.Clear();
+    }
+    if (i % 50'000 == 0) {
+      ExpectHeapOrderEqual(flat, ref);
+    }
+  }
+  ExpectHeapOrderEqual(flat, ref);
+}
+
+TEST(FlatDifferentialTest, MinScoreHeapMatchesOrderedKeySet) {
+  RunScoreHeapDifferential<false>(11);
+}
+
+TEST(FlatDifferentialTest, MaxScoreHeapMatchesOrderedKeySet) {
+  RunScoreHeapDifferential<true>(12);
+}
+
+// ---------------------------------------------------------------------------
+// Cache-level differential: flat vs reference container policies
+
+trace::Request SkewedRequest(util::Pcg32& rng, uint64_t videos, double time) {
+  trace::Request r;
+  r.video = std::min(rng.Next64() % videos, rng.Next64() % videos);
+  uint64_t start_chunk = rng.NextBounded(16);
+  uint64_t len_chunks = 1 + rng.NextBounded(8);
+  r.byte_begin = start_chunk * core::kDefaultChunkBytes;
+  r.byte_end = (start_chunk + len_chunks) * core::kDefaultChunkBytes - 1;
+  r.arrival_time = time;
+  return r;
+}
+
+core::CacheConfig DifferentialConfig() {
+  core::CacheConfig config;
+  config.chunk_bytes = core::kDefaultChunkBytes;
+  config.disk_capacity_chunks = 4096;
+  config.alpha_f2r = 2.0;
+  return config;
+}
+
+template <typename FlatCache, typename RefCache>
+void RunCacheDifferential(FlatCache& flat, RefCache& ref, uint32_t seed) {
+  util::Pcg32 rng(seed);
+  constexpr size_t kRequests = 60'000;
+  const uint64_t capacity = flat.config().disk_capacity_chunks;
+  double t = 0.0;
+  for (size_t i = 1; i <= kRequests; ++i) {
+    t += 0.05;
+    trace::Request r = SkewedRequest(rng, 4000, t);
+    core::RequestOutcome a = flat.HandleRequest(r);
+    core::RequestOutcome b = ref.HandleRequest(r);
+    ASSERT_EQ(a.decision, b.decision) << "request " << i;
+    ASSERT_EQ(a.filled_chunks, b.filled_chunks) << "request " << i;
+    ASSERT_EQ(a.evicted_chunks, b.evicted_chunks) << "request " << i;
+    ASSERT_EQ(a.hit_chunks, b.hit_chunks) << "request " << i;
+    ASSERT_EQ(flat.used_chunks(), ref.used_chunks()) << "request " << i;
+    if (i % 997 == 0) {
+      core::ChunkRange range = core::ToChunkRange(r, core::kDefaultChunkBytes);
+      for (uint32_t c = range.first; c <= range.last; ++c) {
+        core::ChunkId chunk{r.video, c};
+        ASSERT_EQ(flat.ContainsChunk(chunk), ref.ContainsChunk(chunk)) << "request " << i;
+      }
+    }
+    // Structural events mid-replay: shrink (EvictDownTo victim order must
+    // agree), grow back, cold restart.
+    if (i == kRequests / 4) {
+      ASSERT_EQ(flat.Resize(capacity * 3 / 4), ref.Resize(capacity * 3 / 4));
+      ASSERT_EQ(flat.used_chunks(), ref.used_chunks());
+    } else if (i == kRequests / 2) {
+      ASSERT_EQ(flat.Resize(capacity), ref.Resize(capacity));
+    } else if (i == kRequests * 3 / 4) {
+      ASSERT_EQ(flat.DropContents(), ref.DropContents());
+      ASSERT_EQ(flat.used_chunks(), 0u);
+    }
+  }
+}
+
+TEST(FlatDifferentialTest, XlruFlatMatchesReferenceReplay) {
+  core::XlruCache flat(DifferentialConfig());
+  core::ReferenceXlruCache ref(DifferentialConfig());
+  RunCacheDifferential(flat, ref, 21);
+  EXPECT_EQ(flat.tracked_videos(), ref.tracked_videos());
+}
+
+TEST(FlatDifferentialTest, CafeFlatMatchesReferenceReplay) {
+  core::CafeCache flat(DifferentialConfig());
+  core::ReferenceCafeCache ref(DifferentialConfig());
+  RunCacheDifferential(flat, ref, 22);
+  EXPECT_EQ(flat.tracked_history_chunks(), ref.tracked_history_chunks());
+  EXPECT_EQ(flat.CacheAge(5000.0), ref.CacheAge(5000.0));
+}
+
+// ---------------------------------------------------------------------------
+// Zero steady-state allocations (counting operator new from vcdn_alloc_hook)
+
+TEST(FlatAllocationTest, HookIsLinked) {
+  ASSERT_TRUE(util::AllocHookActive())
+      << "this test must link vcdn_alloc_hook (see tests/CMakeLists.txt)";
+  util::AllocScope scope;
+  // Direct operator-new call: a plain new-expression may legally be elided.
+  void* p = ::operator new(64);
+  EXPECT_GE(scope.Delta().allocations, 1u);
+  EXPECT_GE(scope.Delta().bytes, 64u);
+  ::operator delete(p);
+}
+
+TEST(FlatAllocationTest, FlatLruMapSteadyStateIsAllocationFree) {
+  container::FlatLruMap<uint64_t, uint64_t> map;
+  map.Reserve(1 << 12);
+  util::Pcg32 rng(31);
+  constexpr uint64_t kKeyRange = 1 << 12;
+  // Warm-up: populate to the working-set size.
+  for (size_t i = 0; i < 50'000; ++i) {
+    map.InsertOrTouch(rng.Next64() % kKeyRange, i);
+    if (map.size() > (kKeyRange * 3) / 4) {
+      map.PopOldest();
+    }
+  }
+  util::AllocScope scope;
+  for (size_t i = 0; i < 200'000; ++i) {
+    uint64_t key = rng.Next64() % kKeyRange;
+    map.InsertOrTouch(key, i);
+    (void)map.GetAndTouch(rng.Next64() % kKeyRange);
+    (void)map.Peek(rng.Next64() % kKeyRange);
+    if (map.size() > (kKeyRange * 3) / 4) {
+      map.PopOldest();
+    }
+    if (rng.NextBounded(8) == 0) {
+      map.Erase(rng.Next64() % kKeyRange);
+    }
+  }
+  EXPECT_EQ(scope.Delta().allocations, 0u);
+}
+
+TEST(FlatAllocationTest, ScoreHeapSteadyStateIsAllocationFree) {
+  container::ScoreHeap<uint64_t, double> heap;
+  heap.Reserve(1 << 12);
+  util::Pcg32 rng(32);
+  constexpr uint64_t kIdRange = 1 << 12;
+  for (size_t i = 0; i < 50'000; ++i) {
+    heap.InsertOrUpdate(rng.Next64() % kIdRange, rng.NextDouble());
+    if (heap.size() > (kIdRange * 3) / 4) {
+      heap.PopTop();
+    }
+  }
+  // One full scan sizes the reusable scan scratch before measurement.
+  size_t items = 0;
+  heap.ScanInOrder([&](const auto&) {
+    ++items;
+    return true;
+  });
+  ASSERT_EQ(items, heap.size());
+  util::AllocScope scope;
+  for (size_t i = 0; i < 200'000; ++i) {
+    heap.InsertOrUpdate(rng.Next64() % kIdRange, rng.NextDouble());
+    if (heap.size() > (kIdRange * 3) / 4) {
+      heap.PopTop();
+    }
+    if (rng.NextBounded(16) == 0) {
+      size_t visited = 0;
+      heap.ScanInOrder([&](const auto&) { return ++visited < 8; });
+    }
+    if (rng.NextBounded(8) == 0) {
+      heap.Erase(rng.Next64() % kIdRange);
+    }
+  }
+  EXPECT_EQ(scope.Delta().allocations, 0u);
+}
+
+TEST(FlatAllocationTest, XlruRequestPathSteadyStateIsAllocationFree) {
+  core::CacheConfig config = DifferentialConfig();
+  config.disk_capacity_chunks = 1 << 14;
+  core::XlruCache cache(config);
+  util::Pcg32 rng(33);
+  double t = 0.0;
+  // Warm-up: fill the disk and grow the request scratch to its peak.
+  for (size_t i = 0; i < 200'000; ++i) {
+    t += 0.01;
+    cache.HandleRequest(SkewedRequest(rng, 8000, t));
+  }
+  util::AllocScope scope;
+  for (size_t i = 0; i < 100'000; ++i) {
+    t += 0.01;
+    cache.HandleRequest(SkewedRequest(rng, 8000, t));
+  }
+  EXPECT_EQ(scope.Delta().allocations, 0u) << "xLRU steady state must not allocate per request";
+}
+
+}  // namespace
+}  // namespace vcdn
