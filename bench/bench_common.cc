@@ -42,7 +42,7 @@ BenchFlags FlagsFromArgs(int argc, char** argv) {
   BenchFlags flags;
   for (int i = 1; i + 1 < argc; ++i) {
     std::string arg = argv[i];
-    if (arg != "--threads" && arg != "--repeat") {
+    if (arg != "--threads" && arg != "--repeat" && arg != "--batch") {
       continue;
     }
     uint64_t parsed = 0;
@@ -52,8 +52,10 @@ BenchFlags FlagsFromArgs(int argc, char** argv) {
     }
     if (arg == "--threads") {
       flags.threads = static_cast<size_t>(parsed);
-    } else {
+    } else if (arg == "--repeat") {
       flags.repeat = std::max<size_t>(1, static_cast<size_t>(parsed));
+    } else {
+      flags.batch = std::max<size_t>(1, static_cast<size_t>(parsed));
     }
   }
   return flags;
@@ -147,6 +149,7 @@ std::vector<sim::ReplayResult> RunCacheJobs(const std::vector<CacheJob>& jobs,
   for (size_t k = 0; k < flags.repeat; ++k) {
     sim::FleetOptions options;
     options.threads = flags.threads;
+    options.replay.batch_size = flags.batch;
     if (k + 1 == flags.repeat && obs != nullptr && obs->enabled()) {
       options.replay.metrics = obs->metrics();
       options.replay.trace_sink = obs->trace_sink();
@@ -174,7 +177,8 @@ void RequireReleaseBuild() {
     std::fprintf(stderr,
                  "error: this bench binary was built without NDEBUG (Debug or unoptimized "
                  "build).\n"
-                 "Benchmark numbers from such a build are meaningless. Rebuild with\n"
+                 "Benchmark numbers from such a build are meaningless -- throughput knobs\n"
+                 "like --batch N only show their effect under optimization. Rebuild with\n"
                  "  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release\n"
                  "or set VCDN_ALLOW_UNOPTIMIZED_BENCH=1 to run anyway (smoke tests only).\n");
     std::abort();

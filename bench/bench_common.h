@@ -60,11 +60,17 @@ BenchScale ScaleFromEnv();
 //   --repeat K    run the replay stage K times (timing stability / soak).
 //                 All repeats must produce the same FleetDigest; only the
 //                 last records into --obs-json instruments.
+//   --batch N     requests per CacheAlgorithm::HandleRequestBatch call in the
+//                 replay loop (sim::ReplayOptions::batch_size; 1 disables
+//                 batching). Results are bit-identical at any N -- the knob
+//                 only changes how much memory-level parallelism the cache
+//                 can extract.
 //
 // Unknown flags are ignored (each bench may define more).
 struct BenchFlags {
   size_t threads = 0;
   size_t repeat = 1;
+  size_t batch = 16;
 };
 BenchFlags FlagsFromArgs(int argc, char** argv);
 

@@ -7,16 +7,21 @@
 //
 // Measures, single-threaded per algorithm (xLRU, Cafe):
 //   * requests/sec over the full six-server replay,
-//   * ns/request p50 / p99 (timed in batches of 1024 requests),
+//   * ns/request p50 / p99 (timed in slices of 1024 requests),
 //   * heap allocations and bytes per request (global counting operator new;
 //     exact in this binary, which links vcdn_alloc_hook),
-// and, at --threads N, the fleet wall time for both container policies.
-// Every run CHECKs that the two policies produce the same FleetDigest: the
-// speedup is only meaningful while replay results stay bit-identical.
+// plus a batch-size sweep of the flat caches (requests per
+// HandleRequestBatch call -- the software-prefetch pipeline's knob, see
+// docs/PERFORMANCE.md) and, at --threads N, the fleet wall time for both
+// container policies. Every run CHECKs that the two policies produce the
+// same FleetDigest: the speedup is only meaningful while replay results
+// stay bit-identical.
 //
 // Writes BENCH_hotpath.json (override with --out <path>). --repeat K runs
-// the single-thread measurement K times and reports the best (all repeats
-// are listed in the JSON; the digest must agree across repeats).
+// the single-thread measurement K times; the headline numbers are the
+// MEDIAN-throughput run (by requests/sec, lower median), so one noisy
+// neighbor can't inflate the tracked baseline. All repeats are listed in
+// the JSON. --batch N sets the headline batch size (default 16).
 
 #include <algorithm>
 #include <chrono>
@@ -34,7 +39,9 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-constexpr size_t kBatch = 1024;  // requests per timing sample
+constexpr size_t kSlice = 1024;  // requests per timing sample
+
+constexpr size_t kSweepBatches[] = {1, 4, 8, 16, 32};
 
 struct SingleThreadRun {
   double wall_seconds = 0.0;
@@ -55,32 +62,38 @@ double Percentile(std::vector<double>& sorted_in_place, double q) {
   return sorted_in_place[index];
 }
 
-// Replays every trace through a fresh cache of `kind`, timing the raw
-// HandleRequest loop in batches. Prepare and cache construction are outside
-// the timed region; the allocation counters cover only the request loop.
+// Replays every trace through a fresh cache of `kind`, feeding the requests
+// through HandleRequestBatch in spans of `batch_size` and timing in slices
+// of kSlice requests. Prepare, cache construction and the outcome buffer
+// are outside the timed region; the allocation counters cover only the
+// request loop.
 SingleThreadRun ReplaySingleThread(vcdn::core::CacheKind kind,
                                    const std::vector<vcdn::trace::Trace>& traces,
-                                   const vcdn::core::CacheConfig& config) {
+                                   const vcdn::core::CacheConfig& config, size_t batch_size) {
   using namespace vcdn;
   SingleThreadRun run;
-  std::vector<double> batch_ns;
+  std::vector<double> slice_ns;
   double total_seconds = 0.0;
   util::AllocStats alloc_total{};
+  core::RequestBatch batch;
+  batch.outcomes.resize(batch_size);
   for (const trace::Trace& trace : traces) {
     auto cache = core::MakeCache(kind, config);
     cache->Prepare(trace);
     const std::vector<trace::Request>& requests = trace.requests;
     util::AllocScope alloc_scope;
-    for (size_t start = 0; start < requests.size(); start += kBatch) {
-      size_t end = std::min(requests.size(), start + kBatch);
+    for (size_t start = 0; start < requests.size(); start += kSlice) {
+      size_t end = std::min(requests.size(), start + kSlice);
       auto t0 = Clock::now();
-      for (size_t i = start; i < end; ++i) {
-        cache->HandleRequest(requests[i]);
+      for (size_t i = start; i < end; i += batch_size) {
+        batch.requests = &requests[i];
+        batch.count = std::min(batch_size, end - i);
+        cache->HandleRequestBatch(batch);
       }
       auto t1 = Clock::now();
       double ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
       total_seconds += ns * 1e-9;
-      batch_ns.push_back(ns / static_cast<double>(end - start));
+      slice_ns.push_back(ns / static_cast<double>(end - start));
     }
     util::AllocStats delta = alloc_scope.Delta();
     alloc_total.allocations += delta.allocations;
@@ -90,8 +103,8 @@ SingleThreadRun ReplaySingleThread(vcdn::core::CacheKind kind,
   run.wall_seconds = total_seconds;
   run.requests_per_sec =
       total_seconds > 0.0 ? static_cast<double>(run.requests) / total_seconds : 0.0;
-  run.ns_per_request_p99 = Percentile(batch_ns, 0.99);  // sorts batch_ns
-  run.ns_per_request_p50 = Percentile(batch_ns, 0.50);
+  run.ns_per_request_p99 = Percentile(slice_ns, 0.99);  // sorts slice_ns
+  run.ns_per_request_p50 = Percentile(slice_ns, 0.50);
   if (run.requests > 0) {
     run.allocs_per_request =
         static_cast<double>(alloc_total.allocations) / static_cast<double>(run.requests);
@@ -99,6 +112,21 @@ SingleThreadRun ReplaySingleThread(vcdn::core::CacheKind kind,
         static_cast<double>(alloc_total.bytes) / static_cast<double>(run.requests);
   }
   return run;
+}
+
+// The run whose requests/sec is the (lower) median of the repeats: one
+// consistent run supplies every headline field, and the raw per-repeat
+// arrays stay in the JSON for dispersion checks.
+const SingleThreadRun& MedianRun(const std::vector<SingleThreadRun>& runs) {
+  VCDN_CHECK(!runs.empty());
+  std::vector<size_t> order(runs.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return runs[a].requests_per_sec < runs[b].requests_per_sec;
+  });
+  return runs[order[(order.size() - 1) / 2]];
 }
 
 void PrintRun(const char* label, const SingleThreadRun& run) {
@@ -131,8 +159,8 @@ int main(int argc, char** argv) {
   }
   bench::PrintHeader(
       "Hot-path replay throughput: flat containers vs node-based reference",
-      "engineering baseline (no paper figure); flat slab containers target >= 2x "
-      "single-thread replay throughput at bit-identical results",
+      "engineering baseline (no paper figure); batched admission + software "
+      "prefetch target >= 2x the unbatched flat Cafe baseline at bit-identical results",
       scale);
   if (!util::AllocHookActive()) {
     std::fprintf(stderr, "error: vcdn_alloc_hook not linked; allocation columns would lie\n");
@@ -146,10 +174,10 @@ int main(int argc, char** argv) {
   for (const trace::Trace& t : traces) {
     total_requests += t.requests.size();
   }
-  std::printf("Workload: %zu servers, %llu requests total\n\n", traces.size(),
-              static_cast<unsigned long long>(total_requests));
+  std::printf("Workload: %zu servers, %llu requests total, batch %zu\n\n", traces.size(),
+              static_cast<unsigned long long>(total_requests), flags.batch);
 
-  // Single-thread A/B: per algorithm, best of --repeat runs.
+  // Single-thread A/B: per algorithm, median of --repeat runs.
   struct Pair {
     const char* label;
     core::CacheKind flat;
@@ -159,39 +187,49 @@ int main(int argc, char** argv) {
       {"xLRU", core::CacheKind::kXlru, core::CacheKind::kXlruRef},
       {"Cafe", core::CacheKind::kCafe, core::CacheKind::kCafeRef},
   };
-  std::vector<SingleThreadRun> best_flat(2);
-  std::vector<SingleThreadRun> best_ref(2);
-  std::vector<std::vector<double>> repeat_rps_flat(2);
-  std::vector<std::vector<double>> repeat_rps_ref(2);
+  std::vector<std::vector<SingleThreadRun>> runs_flat(2);
+  std::vector<std::vector<SingleThreadRun>> runs_ref(2);
   for (size_t k = 0; k < flags.repeat; ++k) {
     for (size_t p = 0; p < 2; ++p) {
-      SingleThreadRun flat = ReplaySingleThread(pairs[p].flat, traces, config);
-      SingleThreadRun ref = ReplaySingleThread(pairs[p].reference, traces, config);
-      repeat_rps_flat[p].push_back(flat.requests_per_sec);
-      repeat_rps_ref[p].push_back(ref.requests_per_sec);
-      if (flat.requests_per_sec > best_flat[p].requests_per_sec) {
-        best_flat[p] = flat;
-      }
-      if (ref.requests_per_sec > best_ref[p].requests_per_sec) {
-        best_ref[p] = ref;
-      }
+      runs_flat[p].push_back(ReplaySingleThread(pairs[p].flat, traces, config, flags.batch));
+      runs_ref[p].push_back(ReplaySingleThread(pairs[p].reference, traces, config, flags.batch));
     }
   }
   double combined_flat = 0.0;
   double combined_ref = 0.0;
-  std::printf("Single-thread replay (best of %zu repeat%s):\n", flags.repeat,
+  std::printf("Single-thread replay (median of %zu repeat%s):\n", flags.repeat,
               flags.repeat == 1 ? "" : "s");
+  std::vector<const SingleThreadRun*> median_flat(2);
+  std::vector<const SingleThreadRun*> median_ref(2);
   for (size_t p = 0; p < 2; ++p) {
+    median_flat[p] = &MedianRun(runs_flat[p]);
+    median_ref[p] = &MedianRun(runs_ref[p]);
     std::printf("%s:\n", pairs[p].label);
-    PrintRun("flat", best_flat[p]);
-    PrintRun("reference", best_ref[p]);
-    std::printf("  speedup %.2fx\n", best_flat[p].requests_per_sec / best_ref[p].requests_per_sec);
-    combined_flat += best_flat[p].wall_seconds;
-    combined_ref += best_ref[p].wall_seconds;
+    PrintRun("flat", *median_flat[p]);
+    PrintRun("reference", *median_ref[p]);
+    std::printf("  speedup %.2fx\n",
+                median_flat[p]->requests_per_sec / median_ref[p]->requests_per_sec);
+    combined_flat += median_flat[p]->wall_seconds;
+    combined_ref += median_ref[p]->wall_seconds;
   }
   double combined_speedup = combined_ref / combined_flat;
   std::printf("Combined wall: flat %.2fs vs reference %.2fs -> %.2fx\n\n", combined_flat,
               combined_ref, combined_speedup);
+
+  // Batch-size sweep of the flat caches: how much of the throughput comes
+  // from the software-prefetch pipeline (batch 1 = no lookahead).
+  std::vector<std::vector<SingleThreadRun>> sweep(2);
+  std::printf("Flat batch-size sweep (1 run each):\n");
+  for (size_t p = 0; p < 2; ++p) {
+    std::printf("%s:\n", pairs[p].label);
+    for (size_t batch : kSweepBatches) {
+      sweep[p].push_back(ReplaySingleThread(pairs[p].flat, traces, config, batch));
+      char label[32];
+      std::snprintf(label, sizeof(label), "batch %zu", batch);
+      PrintRun(label, sweep[p].back());
+    }
+  }
+  std::printf("\n");
 
   // Fleet comparison at --threads: 6 servers x {xLRU, Cafe} per policy. The
   // digests must match -- the whole point of the flat containers is identical
@@ -234,27 +272,41 @@ int main(int argc, char** argv) {
       << "    \"requests\": " << total_requests << "\n"
       << "  },\n"
       << "  \"repeat\": " << flags.repeat << ",\n"
+      << "  \"batch\": " << flags.batch << ",\n"
+      << "  \"headline\": \"median\",\n"
       << "  \"alloc_hook_active\": true,\n"
       << "  \"single_thread\": {\n";
   for (size_t p = 0; p < 2; ++p) {
     out << "    \"" << pairs[p].label << "\": {\n"
         << "      \"flat\": {\n";
-    WriteRunJson(out, "        ", best_flat[p]);
+    WriteRunJson(out, "        ", *median_flat[p]);
     out << "      },\n"
         << "      \"reference\": {\n";
-    WriteRunJson(out, "        ", best_ref[p]);
+    WriteRunJson(out, "        ", *median_ref[p]);
     out << "      },\n"
         << "      \"speedup\": "
-        << best_flat[p].requests_per_sec / best_ref[p].requests_per_sec << ",\n"
+        << median_flat[p]->requests_per_sec / median_ref[p]->requests_per_sec << ",\n"
         << "      \"repeat_requests_per_sec_flat\": [";
-    for (size_t k = 0; k < repeat_rps_flat[p].size(); ++k) {
-      out << (k > 0 ? ", " : "") << repeat_rps_flat[p][k];
+    for (size_t k = 0; k < runs_flat[p].size(); ++k) {
+      out << (k > 0 ? ", " : "") << runs_flat[p][k].requests_per_sec;
     }
     out << "],\n      \"repeat_requests_per_sec_reference\": [";
-    for (size_t k = 0; k < repeat_rps_ref[p].size(); ++k) {
-      out << (k > 0 ? ", " : "") << repeat_rps_ref[p][k];
+    for (size_t k = 0; k < runs_ref[p].size(); ++k) {
+      out << (k > 0 ? ", " : "") << runs_ref[p][k].requests_per_sec;
     }
     out << "]\n    }" << (p == 0 ? "," : "") << "\n";
+  }
+  out << "  },\n"
+      << "  \"batch_sweep\": {\n";
+  for (size_t p = 0; p < 2; ++p) {
+    out << "    \"" << pairs[p].label << "\": [\n";
+    for (size_t b = 0; b < sweep[p].size(); ++b) {
+      out << "      {\n"
+          << "        \"batch\": " << kSweepBatches[b] << ",\n";
+      WriteRunJson(out, "        ", sweep[p][b]);
+      out << "      }" << (b + 1 < sweep[p].size() ? "," : "") << "\n";
+    }
+    out << "    ]" << (p == 0 ? "," : "") << "\n";
   }
   out << "  },\n"
       << "  \"combined_single_thread_speedup\": " << combined_speedup << ",\n"

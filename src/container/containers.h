@@ -18,6 +18,7 @@
 #include <functional>
 #include <string_view>
 
+#include "src/container/chunk_set_map.h"
 #include "src/container/flat_lru_map.h"
 #include "src/container/lru_map.h"
 #include "src/container/ordered_key_set.h"
@@ -34,6 +35,7 @@ struct FlatContainers {
   using MinHeapT = ScoreHeap<I, S, H, /*kMaxFirst=*/false>;
   template <typename I, typename S, typename H = std::hash<I>>
   using MaxHeapT = ScoreHeap<I, S, H, /*kMaxFirst=*/true>;
+  using ChunkSetMapT = FlatChunkSetMap;
 };
 
 // std::list + std::unordered_map + std::set, as in the seed implementation.
@@ -45,6 +47,7 @@ struct ReferenceContainers {
   using MinHeapT = RefScoreHeap<I, S, H, /*kMaxFirst=*/false>;
   template <typename I, typename S, typename H = std::hash<I>>
   using MaxHeapT = RefScoreHeap<I, S, H, /*kMaxFirst=*/true>;
+  using ChunkSetMapT = ReferenceChunkSetMap;
 };
 
 }  // namespace vcdn::container

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "src/container/flat_index.h"
+#include "src/container/prefetch.h"
 #include "src/util/check.h"
 
 namespace vcdn::container {
@@ -72,12 +73,37 @@ class FlatLruMap {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  // Mixed 32-bit hash of `key` -- identical across every FlatIndex-backed
+  // container instantiated with the same Key/Hash, so a caller touching the
+  // same key in several structures can hash once and pass the value to the
+  // hash-taking overloads below.
+  uint32_t HashOf(const Key& key) const { return index_.HashOf(key); }
+
+  // Prefetches the index bucket a subsequent operation on this key/hash will
+  // probe first. Pure hint (see prefetch.h).
+  void PrefetchSlot(uint32_t hash) const { index_.PrefetchBucket(hash); }
+  void PrefetchSlot(const Key& key) const { index_.PrefetchBucket(index_.HashOf(key)); }
+
+  // Prefetches the least-recently-used slot (what Oldest/PopOldest read
+  // next). The LRU tail is cold by definition, so cleanup scans that poll it
+  // every request benefit the most.
+  void PrefetchOldest() const {
+    if (tail_ != kNil) {
+      PrefetchForRead(&slots_[tail_]);
+    }
+  }
+
   bool Contains(const Key& key) const { return FindSlot(key) != kNil; }
 
   // Inserts (or overwrites) and makes the entry most-recent. Returns true if
   // the key was newly inserted.
   bool InsertOrTouch(const Key& key, Value value) {
-    uint32_t hash = index_.HashOf(key);
+    return InsertOrTouch(key, std::move(value), index_.HashOf(key));
+  }
+
+  // Hash-taking overload: `hash` must equal HashOf(key).
+  bool InsertOrTouch(const Key& key, Value value, uint32_t hash) {
+    VCDN_DCHECK(hash == index_.HashOf(key));
     uint32_t s = index_.Find(hash, key, KeyAt());
     if (s != kNil) {
       slots_[s].value = std::move(value);
@@ -115,9 +141,23 @@ class FlatLruMap {
     return s == kNil ? nullptr : &slots_[s].value;
   }
 
+  // Hash-taking overload: `hash` must equal HashOf(key).
+  const Value* Peek(const Key& key, uint32_t hash) const {
+    VCDN_DCHECK(hash == index_.HashOf(key));
+    uint32_t s = index_.Find(hash, key, KeyAt());
+    return s == kNil ? nullptr : &slots_[s].value;
+  }
+
   // Mutable Peek: in-place value update without a recency change.
   Value* PeekMut(const Key& key) {
     uint32_t s = FindSlot(key);
+    return s == kNil ? nullptr : &slots_[s].value;
+  }
+
+  // Hash-taking overload: `hash` must equal HashOf(key).
+  Value* PeekMut(const Key& key, uint32_t hash) {
+    VCDN_DCHECK(hash == index_.HashOf(key));
+    uint32_t s = index_.Find(hash, key, KeyAt());
     return s == kNil ? nullptr : &slots_[s].value;
   }
 
@@ -159,8 +199,11 @@ class FlatLruMap {
   }
 
   // Removes a specific key. Returns true if it was present.
-  bool Erase(const Key& key) {
-    uint32_t hash = index_.HashOf(key);
+  bool Erase(const Key& key) { return Erase(key, index_.HashOf(key)); }
+
+  // Hash-taking overload: `hash` must equal HashOf(key).
+  bool Erase(const Key& key, uint32_t hash) {
+    VCDN_DCHECK(hash == index_.HashOf(key));
     uint32_t s = index_.Erase(hash, key, KeyAt());
     if (s == kNil) {
       return false;

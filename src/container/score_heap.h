@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "src/container/flat_index.h"
+#include "src/container/prefetch.h"
 #include "src/util/check.h"
 
 namespace vcdn::container {
@@ -61,7 +62,41 @@ class ScoreHeap {
   size_t size() const { return heap_.size(); }
   bool empty() const { return heap_.empty(); }
 
+  // Mixed 32-bit hash of `id` -- identical across every FlatIndex-backed
+  // container instantiated with the same Id/Hash (hash once, reuse
+  // everywhere).
+  uint32_t HashOf(const Id& id) const { return index_.HashOf(id); }
+
+  // Prefetches the index bucket a subsequent operation on this id/hash will
+  // probe first. Pure hint (see prefetch.h).
+  void PrefetchEntry(uint32_t hash) const { index_.PrefetchBucket(hash); }
+  void PrefetchEntry(const Id& id) const { index_.PrefetchBucket(index_.HashOf(id)); }
+
+  // Prefetches the top node (what Top/PopTop/ScanInOrder read next).
+  void PrefetchTop() const {
+    if (!heap_.empty()) {
+      PrefetchForRead(&nodes_[heap_[0]]);
+    }
+  }
+
   bool Contains(const Id& id) const { return FindNode(id) != kNil; }
+
+  // Hash-taking overload: `hash` must equal HashOf(id).
+  bool Contains(const Id& id, uint32_t hash) const {
+    VCDN_DCHECK(hash == index_.HashOf(id));
+    return index_.Find(hash, id, IdAt()) != kNil;
+  }
+
+  // Membership of `count` ids in one call, interleaving the index probes so
+  // their cache misses overlap (FlatIndex::FindMany). out[i] is nonzero iff
+  // ids[i] is present; hashes[i] must equal HashOf(ids[i]).
+  void ContainsMany(const Id* ids, const uint32_t* hashes, size_t count, uint8_t* out) const {
+    find_scratch_.resize(count);
+    index_.FindMany(hashes, ids, count, find_scratch_.data(), IdAt());
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = find_scratch_[i] != kNil ? 1 : 0;
+    }
+  }
 
   // Returns the score of an item, or nullptr if absent.
   const Score* GetScore(const Id& id) const {
@@ -72,7 +107,12 @@ class ScoreHeap {
   // Inserts the item or moves it to a new score. Returns true if newly
   // inserted.
   bool InsertOrUpdate(const Id& id, const Score& score) {
-    uint32_t hash = index_.HashOf(id);
+    return InsertOrUpdate(id, score, index_.HashOf(id));
+  }
+
+  // Hash-taking overload: `hash` must equal HashOf(id).
+  bool InsertOrUpdate(const Id& id, const Score& score, uint32_t hash) {
+    VCDN_DCHECK(hash == index_.HashOf(id));
     uint32_t n = index_.Find(hash, id, IdAt());
     if (n != kNil) {
       nodes_[n].item.first = score;
@@ -90,8 +130,11 @@ class ScoreHeap {
     return true;
   }
 
-  bool Erase(const Id& id) {
-    uint32_t hash = index_.HashOf(id);
+  bool Erase(const Id& id) { return Erase(id, index_.HashOf(id)); }
+
+  // Hash-taking overload: `hash` must equal HashOf(id).
+  bool Erase(const Id& id, uint32_t hash) {
+    VCDN_DCHECK(hash == index_.HashOf(id));
     uint32_t n = index_.Erase(hash, id, IdAt());
     if (n == kNil) {
       return false;
@@ -272,6 +315,8 @@ class ScoreHeap {
   uint32_t free_ = kNil;
   // Reused by ScanInOrder so steady-state scans do not allocate.
   mutable std::vector<uint32_t> scan_scratch_;
+  // Reused by ContainsMany; sized to the largest batch seen, then stable.
+  mutable std::vector<uint32_t> find_scratch_;
 };
 
 }  // namespace vcdn::container

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/core/chunk.h"
 #include "src/core/cost_model.h"
@@ -48,6 +49,16 @@ struct RequestOutcome {
   uint32_t proactive_filled_chunks = 0;
 };
 
+// Reusable carrier for batched admission (sim::Replay accumulates into one):
+// a view of consecutive, time-ordered requests plus outcome storage that is
+// kept alive across batches, so steady-state batching does not allocate. The
+// requests stay owned by the trace.
+struct RequestBatch {
+  const trace::Request* requests = nullptr;
+  size_t count = 0;
+  std::vector<RequestOutcome> outcomes;
+};
+
 class CacheAlgorithm {
  public:
   explicit CacheAlgorithm(const CacheConfig& config) : config_(config), cost_(config.alpha_f2r) {
@@ -73,6 +84,35 @@ class CacheAlgorithm {
       RecordOutcome(outcome);
     }
     return outcome;
+  }
+
+  // Handles `count` consecutive, time-ordered requests through one virtual
+  // dispatch. Observably identical to calling HandleRequest on each request
+  // in order -- batching is a scheduling change, never a semantics change --
+  // but lets an algorithm overlap independent memory accesses across the
+  // batch (see CafeCacheT's software-pipelined override). `outcomes` must
+  // hold at least `count` entries.
+  void HandleRequestBatch(const trace::Request* requests, size_t count,
+                          RequestOutcome* outcomes) {
+    HandleRequestBatchImpl(requests, count, outcomes);
+    if (metrics_attached_) {
+      // Deferring the per-request recording to the end of the batch is
+      // observable only through a registry snapshot, and callers cut batches
+      // at every snapshot point (bucket flushes), so counter and gauge
+      // values agree with the unbatched path wherever they can be read.
+      for (size_t i = 0; i < count; ++i) {
+        RecordOutcome(outcomes[i]);
+      }
+    }
+  }
+
+  // Convenience for RequestBatch-accumulating callers; grows the outcome
+  // storage once and reuses it afterwards.
+  void HandleRequestBatch(RequestBatch& batch) {
+    if (batch.outcomes.size() < batch.count) {
+      batch.outcomes.resize(batch.count);
+    }
+    HandleRequestBatch(batch.requests, batch.count, batch.outcomes.data());
   }
 
   // Registers this cache's instruments under "cache.<name>." and starts
@@ -146,6 +186,18 @@ class CacheAlgorithm {
  protected:
   // The algorithm's actual request handling (old virtual HandleRequest).
   virtual RequestOutcome HandleRequestImpl(const trace::Request& request) = 0;
+
+  // Batched counterpart of HandleRequestImpl. The default loops, so every
+  // algorithm works unchanged at any batch size; algorithms whose hot path
+  // is memory-latency-bound override this to pre-hash keys and software-
+  // prefetch request i+k's probe targets while evaluating request i. An
+  // override must produce bit-identical outcomes and end-state to this loop.
+  virtual void HandleRequestBatchImpl(const trace::Request* requests, size_t count,
+                                      RequestOutcome* outcomes) {
+    for (size_t i = 0; i < count; ++i) {
+      outcomes[i] = HandleRequestImpl(requests[i]);
+    }
+  }
 
   // Evicts, in the algorithm's victim order, until used_chunks() is at most
   // `max_chunks` (0 empties the disk). Returns the number evicted. Backs

@@ -26,8 +26,13 @@ CafeCacheT<C>::CafeCacheT(const CacheConfig& config, const CafeOptions& options)
   // History holds roughly as many tracked-but-uncached chunks as the disk
   // holds cached ones (the cleanup horizon scales with cache age).
   history_.Reserve(capacity);
-  history_by_key_.Reserve(capacity);
+  if (options_.proactive) {
+    // The by-key candidate pool is only maintained when proactive filling can
+    // read it; otherwise it stays empty and unreserved.
+    history_by_key_.Reserve(capacity);
+  }
   video_seen_.Reserve(capacity);
+  video_chunks_.Reserve(capacity);
 }
 
 template <typename C>
@@ -67,21 +72,38 @@ double CafeCacheT<C>::EstimateIat(const ChunkId& chunk, double now) const {
   if (const ChunkStat* stat = history_.Peek(chunk)) {
     return std::max(kMinIat, IatOf(*stat, now));
   }
-  if (options_.estimate_unseen_from_video) {
-    // Sec. 6 optimization: a never-seen chunk of a partially cached video
-    // inherits the largest recorded IAT among the video's cached chunks.
-    auto vit = video_chunks_.find(chunk.video);
-    if (vit != video_chunks_.end() && !vit->second.empty()) {
-      double worst = 0.0;
-      for (uint32_t index : vit->second) {
-        const ChunkStat* stat = cached_stats_.Peek(ChunkId{chunk.video, index});
-        VCDN_DCHECK(stat != nullptr);
-        worst = std::max(worst, IatOf(*stat, now));
-      }
-      return std::max(kMinIat, worst);
-    }
+  return EstimateIatFromVideo(chunk.video, video_chunks_.HashOf(chunk.video), now);
+}
+
+template <typename C>
+double CafeCacheT<C>::EstimateIatUncached(const ChunkId& chunk, uint32_t chunk_hash,
+                                          uint32_t video_hash, double now) const {
+  // cached_ and cached_stats_ always hold the same key set, so a chunk known
+  // missing from cached_ cannot be in cached_stats_ -- skip that probe.
+  VCDN_DCHECK(cached_stats_.Peek(chunk) == nullptr);
+  if (const ChunkStat* stat = history_.Peek(chunk, chunk_hash)) {
+    return std::max(kMinIat, IatOf(*stat, now));
   }
-  return kInfinity;
+  return EstimateIatFromVideo(chunk.video, video_hash, now);
+}
+
+template <typename C>
+double CafeCacheT<C>::EstimateIatFromVideo(VideoId video, uint32_t video_hash, double now) const {
+  if (!options_.estimate_unseen_from_video) {
+    return kInfinity;
+  }
+  // Sec. 6 optimization: a never-seen chunk of a partially cached video
+  // inherits the largest recorded IAT among the video's cached chunks.
+  // max() is order-independent, so the set's iteration order is immaterial.
+  bool any = false;
+  double worst = 0.0;
+  video_chunks_.ForEach(video, video_hash, [&](uint32_t index) {
+    const ChunkStat* stat = cached_stats_.Peek(ChunkId{video, index});
+    VCDN_DCHECK(stat != nullptr);
+    any = true;
+    worst = std::max(worst, IatOf(*stat, now));
+  });
+  return any ? std::max(kMinIat, worst) : kInfinity;
 }
 
 template <typename C>
@@ -92,7 +114,9 @@ void CafeCacheT<C>::CleanupHistory(double now) {
   }
   double horizon = age * options_.history_retention_factor / std::min(1.0, config_.alpha_f2r);
   while (!history_.empty() && now - history_.Oldest().value.t_last > horizon) {
-    history_by_key_.Erase(history_.Oldest().key);
+    if (options_.proactive) {
+      history_by_key_.Erase(history_.Oldest().key);
+    }
     history_.PopOldest();
   }
   while (!video_seen_.empty() && now - video_seen_.Oldest().value > horizon) {
@@ -101,36 +125,41 @@ void CafeCacheT<C>::CleanupHistory(double now) {
 }
 
 template <typename C>
-void CafeCacheT<C>::HistoryPut(const ChunkId& chunk, const ChunkStat& stat) {
-  history_.InsertOrTouch(chunk, stat);
-  history_by_key_.InsertOrUpdate(chunk, VirtualKey(stat));
+void CafeCacheT<C>::HistoryPut(const ChunkId& chunk, const ChunkStat& stat, uint32_t chunk_hash) {
+  history_.InsertOrTouch(chunk, stat, chunk_hash);
+  if (options_.proactive) {
+    history_by_key_.InsertOrUpdate(chunk, VirtualKey(stat), chunk_hash);
+  }
 }
 
 template <typename C>
-void CafeCacheT<C>::HistoryErase(const ChunkId& chunk) {
-  history_.Erase(chunk);
-  history_by_key_.Erase(chunk);
+void CafeCacheT<C>::HistoryErase(const ChunkId& chunk, uint32_t chunk_hash) {
+  history_.Erase(chunk, chunk_hash);
+  if (options_.proactive) {
+    history_by_key_.Erase(chunk, chunk_hash);
+  }
 }
 
 template <typename C>
-void CafeCacheT<C>::CacheInsert(const ChunkId& chunk, const ChunkStat& stat) {
-  cached_stats_.InsertOrTouch(chunk, stat);
-  cached_.InsertOrUpdate(chunk, VirtualKey(stat));
-  video_chunks_[chunk.video].insert(chunk.index);
+void CafeCacheT<C>::CacheInsert(const ChunkId& chunk, const ChunkStat& stat, uint32_t chunk_hash,
+                                uint32_t video_hash) {
+  cached_stats_.InsertOrTouch(chunk, stat, chunk_hash);
+  cached_.InsertOrUpdate(chunk, VirtualKey(stat), chunk_hash);
+  video_chunks_.Insert(chunk.video, chunk.index, video_hash);
 }
 
 template <typename C>
 void CafeCacheT<C>::CacheEvict(const ChunkId& chunk) {
-  const ChunkStat* stat = cached_stats_.Peek(chunk);
+  // Victims are arbitrary chunks (not the request's), so their hashes are not
+  // pre-computed; hash once here and reuse across the five probes.
+  const uint32_t chunk_hash = cached_stats_.HashOf(chunk);
+  const uint32_t video_hash = video_chunks_.HashOf(chunk.video);
+  const ChunkStat* stat = cached_stats_.Peek(chunk, chunk_hash);
   VCDN_DCHECK(stat != nullptr);
-  HistoryPut(chunk, *stat);
-  cached_stats_.Erase(chunk);
-  cached_.Erase(chunk);
-  auto vit = video_chunks_.find(chunk.video);
-  vit->second.erase(chunk.index);
-  if (vit->second.empty()) {
-    video_chunks_.erase(vit);
-  }
+  HistoryPut(chunk, *stat, chunk_hash);
+  cached_stats_.Erase(chunk, chunk_hash);
+  cached_.Erase(chunk, chunk_hash);
+  video_chunks_.Erase(chunk.video, chunk.index, video_hash);
 }
 
 template <typename C>
@@ -178,12 +207,13 @@ uint32_t CafeCacheT<C>::ProactiveFill(double now) {
     }
 
     ChunkStat moved = *stat;
-    HistoryErase(chunk);
+    const uint32_t chunk_hash = history_.HashOf(chunk);
+    HistoryErase(chunk, chunk_hash);
     if (disk_full) {
       ChunkId victim = cached_.Top().second;  // copy: eviction invalidates refs
       CacheEvict(victim);
     }
-    CacheInsert(chunk, moved);
+    CacheInsert(chunk, moved, chunk_hash, video_chunks_.HashOf(chunk.video));
     ++filled;
   }
   return filled;
@@ -211,39 +241,110 @@ void CafeCacheT<C>::OnOutcomeRecorded() {
 }
 
 template <typename C>
+void CafeCacheT<C>::ComputeHashes(const trace::Request& request, RequestHashes& out) const {
+  // video_seen_ and video_chunks_ share their hash (same Key/Hash pair), as
+  // do cached_, cached_stats_, history_ and history_by_key_ (ChunkIdHash).
+  out.video_hash = video_seen_.HashOf(request.video);
+  ChunkRange range = ToChunkRange(request, config_.chunk_bytes);
+  out.chunk_hashes.clear();
+  out.chunk_hashes.reserve(range.count());
+  for (uint32_t c = range.first; c <= range.last; ++c) {
+    out.chunk_hashes.push_back(cached_.HashOf(ChunkId{request.video, c}));
+  }
+}
+
+template <typename C>
+void CafeCacheT<C>::PrefetchFor(const RequestHashes& hashes) const {
+  for (uint32_t h : hashes.chunk_hashes) {
+    cached_.PrefetchEntry(h);
+    cached_stats_.PrefetchSlot(h);
+    history_.PrefetchSlot(h);
+  }
+  video_seen_.PrefetchSlot(hashes.video_hash);
+  video_chunks_.PrefetchVideo(hashes.video_hash);
+  // Per-request fixtures: victim selection and CacheAge start at the heap
+  // top; CleanupHistory polls the history/video LRU tails every request.
+  cached_.PrefetchTop();
+  history_.PrefetchOldest();
+  video_seen_.PrefetchOldest();
+}
+
+template <typename C>
 RequestOutcome CafeCacheT<C>::HandleRequestImpl(const trace::Request& request) {
+  ComputeHashes(request, own_hashes_);
+  return HandleOne(request, own_hashes_);
+}
+
+template <typename C>
+void CafeCacheT<C>::HandleRequestBatchImpl(const trace::Request* requests, size_t count,
+                                           RequestOutcome* outcomes) {
+  // Software pipeline: hash and prefetch request i + kPrefetchDistance, then
+  // handle request i, so the probe lines for upcoming requests stream in
+  // while the current request runs the cost model. Hashes are pure functions
+  // of the chunk ids and prefetches are pure hints, so interleaving them
+  // ahead of mutations cannot change any outcome; results are bit-identical
+  // to the base class's sequential loop at every batch size.
+  constexpr size_t kRing = kPrefetchDistance + 1;
+  const size_t lead = std::min(kPrefetchDistance, count);
+  for (size_t i = 0; i < lead; ++i) {
+    ComputeHashes(requests[i], batch_hashes_[i % kRing]);
+    PrefetchFor(batch_hashes_[i % kRing]);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const size_t ahead = i + kPrefetchDistance;
+    if (ahead < count) {
+      ComputeHashes(requests[ahead], batch_hashes_[ahead % kRing]);
+      PrefetchFor(batch_hashes_[ahead % kRing]);
+    }
+    outcomes[i] = HandleOne(requests[i], batch_hashes_[i % kRing]);
+  }
+}
+
+template <typename C>
+RequestOutcome CafeCacheT<C>::HandleOne(const trace::Request& request,
+                                        const RequestHashes& hashes) {
   const double now = request.arrival_time;
   if (first_request_time_ < 0.0) {
     first_request_time_ = now;
   }
   RequestOutcome outcome = MakeOutcome(request);
   ChunkRange range = ToChunkRange(request, config_.chunk_bytes);
+  const size_t chunk_count = range.count();
+  VCDN_DCHECK(hashes.chunk_hashes.size() == chunk_count);
 
-  // Classify the requested chunks (S) into present and missing (S').
+  // Classify the requested chunks (S) into present and missing (S'), with
+  // the membership probes interleaved so their index misses overlap.
   std::vector<ChunkId>& all_chunks = all_chunks_scratch_;
   std::vector<ChunkId>& missing = missing_scratch_;
+  std::vector<uint32_t>& missing_hashes = missing_hash_scratch_;
   all_chunks.clear();
   missing.clear();
-  all_chunks.reserve(range.count());
+  missing_hashes.clear();
+  all_chunks.reserve(chunk_count);
   for (uint32_t c = range.first; c <= range.last; ++c) {
-    ChunkId chunk{request.video, c};
-    all_chunks.push_back(chunk);
-    if (!cached_.Contains(chunk)) {
-      missing.push_back(chunk);
+    all_chunks.push_back(ChunkId{request.video, c});
+  }
+  contains_scratch_.resize(chunk_count);
+  cached_.ContainsMany(all_chunks.data(), hashes.chunk_hashes.data(), chunk_count,
+                       contains_scratch_.data());
+  for (size_t i = 0; i < chunk_count; ++i) {
+    if (!contains_scratch_[i]) {
+      missing.push_back(all_chunks[i]);
+      missing_hashes.push_back(hashes.chunk_hashes[i]);
     }
   }
-  outcome.hit_chunks = static_cast<uint32_t>(all_chunks.size() - missing.size());
+  outcome.hit_chunks = static_cast<uint32_t>(chunk_count - missing.size());
 
   // First-ever request for this video: no popularity signal at all; redirect
   // (the same rule as xLRU's "t == NULL" -- Sec. 9.2 confirms Cafe
-  // intentionally never admits a never-seen file).
-  bool video_seen = video_seen_.Peek(request.video) != nullptr;
-  video_seen_.InsertOrTouch(request.video, now);
+  // intentionally never admits a never-seen file). One InsertOrTouch both
+  // reads the previous presence and records this request's touch.
+  const bool video_seen = !video_seen_.InsertOrTouch(request.video, now, hashes.video_hash);
 
   bool admit = false;
   std::vector<std::pair<ChunkId, double>>& victims = victims_scratch_;  // (chunk, IAT at now)
   victims.clear();
-  if (video_seen && range.count() <= config_.disk_capacity_chunks) {
+  if (video_seen && chunk_count <= config_.disk_capacity_chunks) {
     // Select eviction victims S'': the least popular cached chunks, skipping
     // requested ones. Only as many as the fill would overflow the disk.
     uint64_t needed = cached_.size() + missing.size();
@@ -282,8 +383,8 @@ RequestOutcome CafeCacheT<C>::HandleRequestImpl(const trace::Request& request) {
       cost_serve += window / iat * min_cost;
     }
     double cost_redirect = static_cast<double>(all_chunks.size()) * cost_.redirect_cost();
-    for (const ChunkId& chunk : missing) {
-      double iat = EstimateIat(chunk, now);
+    for (size_t i = 0; i < missing.size(); ++i) {
+      double iat = EstimateIatUncached(missing[i], missing_hashes[i], hashes.video_hash, now);
       if (std::isfinite(iat)) {
         cost_redirect += window / iat * min_cost;
       }
@@ -299,32 +400,36 @@ RequestOutcome CafeCacheT<C>::HandleRequestImpl(const trace::Request& request) {
       CacheEvict(chunk);
       ++outcome.evicted_chunks;
     }
-    for (const ChunkId& chunk : all_chunks) {
-      if (ChunkStat* stat = cached_stats_.PeekMut(chunk)) {
+    for (size_t i = 0; i < chunk_count; ++i) {
+      const ChunkId& chunk = all_chunks[i];
+      const uint32_t chunk_hash = hashes.chunk_hashes[i];
+      if (ChunkStat* stat = cached_stats_.PeekMut(chunk, chunk_hash)) {
         // Hit: EWMA update and re-key.
         UpdateStat(*stat, now);
-        cached_.InsertOrUpdate(chunk, VirtualKey(*stat));
+        cached_.InsertOrUpdate(chunk, VirtualKey(*stat), chunk_hash);
         continue;
       }
-      // Fill: seed the stat from history, or initialize a fresh one.
+      // Fill: seed the stat from history, or initialize a fresh one. The
+      // chunk is uncached and (in the else branch) untracked, so the IAT
+      // estimate goes straight to the per-video fallback.
       ChunkStat stat;
-      if (const ChunkStat* h = history_.Peek(chunk)) {
+      if (const ChunkStat* h = history_.Peek(chunk, chunk_hash)) {
         stat = *h;
-        HistoryErase(chunk);
+        HistoryErase(chunk, chunk_hash);
         UpdateStat(stat, now);
       } else {
-        double estimate = EstimateIat(chunk, now);
+        double estimate = EstimateIatFromVideo(request.video, hashes.video_hash, now);
         stat.dt = std::isfinite(estimate) ? estimate : std::max(CacheAge(now), kMinIat);
         stat.t_last = now;
       }
-      CacheInsert(chunk, stat);
+      CacheInsert(chunk, stat, chunk_hash, hashes.video_hash);
       ++outcome.filled_chunks;
     }
     outcome.decision = Decision::kServe;
   } else {
     if (!video_seen) {
       admit_redirect_unseen_total_.Increment();
-    } else if (range.count() > config_.disk_capacity_chunks) {
+    } else if (chunk_count > config_.disk_capacity_chunks) {
       admit_redirect_too_wide_total_.Increment();
     } else {
       admit_redirect_cost_total_.Increment();
@@ -332,22 +437,24 @@ RequestOutcome CafeCacheT<C>::HandleRequestImpl(const trace::Request& request) {
     // Redirect. The request still signals popularity: update every requested
     // chunk's stat (cached chunks get re-keyed, uncached ones tracked in
     // history).
-    for (const ChunkId& chunk : all_chunks) {
-      if (ChunkStat* cached_stat = cached_stats_.PeekMut(chunk)) {
+    for (size_t i = 0; i < chunk_count; ++i) {
+      const ChunkId& chunk = all_chunks[i];
+      const uint32_t chunk_hash = hashes.chunk_hashes[i];
+      if (ChunkStat* cached_stat = cached_stats_.PeekMut(chunk, chunk_hash)) {
         UpdateStat(*cached_stat, now);
-        cached_.InsertOrUpdate(chunk, VirtualKey(*cached_stat));
+        cached_.InsertOrUpdate(chunk, VirtualKey(*cached_stat), chunk_hash);
         continue;
       }
       ChunkStat stat;
-      if (const ChunkStat* h = history_.Peek(chunk)) {
+      if (const ChunkStat* h = history_.Peek(chunk, chunk_hash)) {
         stat = *h;
         UpdateStat(stat, now);
       } else {
-        double estimate = EstimateIat(chunk, now);
+        double estimate = EstimateIatFromVideo(request.video, hashes.video_hash, now);
         stat.dt = std::isfinite(estimate) ? estimate : std::max(CacheAge(now), kMinIat);
         stat.t_last = now;
       }
-      HistoryPut(chunk, stat);
+      HistoryPut(chunk, stat, chunk_hash);
     }
     outcome.decision = Decision::kRedirect;
   }

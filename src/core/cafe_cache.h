@@ -36,9 +36,9 @@
 #ifndef VCDN_SRC_CORE_CAFE_CACHE_H_
 #define VCDN_SRC_CORE_CAFE_CACHE_H_
 
+#include <array>
+#include <cstdint>
 #include <string_view>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -100,6 +100,12 @@ class CafeCacheT : public CacheAlgorithm {
 
  protected:
   RequestOutcome HandleRequestImpl(const trace::Request& request) override;
+  // Software-pipelined batch admission: pre-hashes every chunk id in the
+  // batch and prefetches request i+k's probe buckets and slab slots while
+  // request i runs the Eq. 6-7 cost model. Bit-identical to the base loop at
+  // any batch size -- prefetching and hash reuse are pure scheduling.
+  void HandleRequestBatchImpl(const trace::Request* requests, size_t count,
+                              RequestOutcome* outcomes) override;
   // Evicts least popular first; the victims' stats move to history, so a
   // cold restart loses the disk but keeps the popularity signal.
   uint64_t EvictDownTo(uint64_t max_chunks) override;
@@ -112,17 +118,51 @@ class CafeCacheT : public CacheAlgorithm {
     double t_last = 0.0;  // last access time
   };
 
+  // How many requests ahead the batched path issues prefetches: far enough
+  // that the probe lines arrive before use (~1 request's work per step, a
+  // few hundred cycles), near enough that they are not evicted again and at
+  // most ~3 requests' worth of hints are in flight. See docs/PERFORMANCE.md.
+  static constexpr size_t kPrefetchDistance = 4;
+
+  // Pre-hashed probe targets of one request. Every ChunkId-keyed flat
+  // structure (cached_, cached_stats_, history_, history_by_key_) and both
+  // VideoId-keyed ones (video_seen_, video_chunks_) share their respective
+  // mixed hash, so one pass covers all probes of the request.
+  struct RequestHashes {
+    uint32_t video_hash = 0;
+    std::vector<uint32_t> chunk_hashes;  // one per chunk of the range
+  };
+
   double IatOf(const ChunkStat& stat, double now) const;
   // Theorem-1 virtual timestamp at T0 = 0.
   double VirtualKey(const ChunkStat& stat) const;
   void UpdateStat(ChunkStat& stat, double now) const;
   void CleanupHistory(double now);
 
-  // History bookkeeping (keeps history_ and history_by_key_ in sync).
-  void HistoryPut(const ChunkId& chunk, const ChunkStat& stat);
-  void HistoryErase(const ChunkId& chunk);
+  // The single-request admission path, shared by the unbatched and batched
+  // entry points; `hashes` must be ComputeHashes of `request`.
+  RequestOutcome HandleOne(const trace::Request& request, const RequestHashes& hashes);
+  void ComputeHashes(const trace::Request& request, RequestHashes& out) const;
+  // Issues the prefetch hints for a request about to be handled (no-ops on
+  // the reference containers).
+  void PrefetchFor(const RequestHashes& hashes) const;
+
+  // EstimateIat split for call sites that already know probe outcomes:
+  // `chunk` known uncached (skips the cached_stats_ probe) ...
+  double EstimateIatUncached(const ChunkId& chunk, uint32_t chunk_hash, uint32_t video_hash,
+                             double now) const;
+  // ... or known uncached and untracked (straight to the per-video largest
+  // cached IAT of Sec. 6, or +infinity).
+  double EstimateIatFromVideo(VideoId video, uint32_t video_hash, double now) const;
+
+  // History bookkeeping. history_by_key_ (the proactive-fill candidate pool)
+  // is only maintained when options_.proactive is set -- nothing reads it
+  // otherwise, and its upkeep was a measurable share of the hot path.
+  void HistoryPut(const ChunkId& chunk, const ChunkStat& stat, uint32_t chunk_hash);
+  void HistoryErase(const ChunkId& chunk, uint32_t chunk_hash);
   // Moves a chunk's stat into the cached structures.
-  void CacheInsert(const ChunkId& chunk, const ChunkStat& stat);
+  void CacheInsert(const ChunkId& chunk, const ChunkStat& stat, uint32_t chunk_hash,
+                   uint32_t video_hash);
   // Evicts a cached chunk, moving its stat back to history.
   void CacheEvict(const ChunkId& chunk);
   // Off-peak prefetching; returns the number of chunks filled.
@@ -136,7 +176,7 @@ class CafeCacheT : public CacheAlgorithm {
   typename Containers::template MinHeapT<ChunkId, double, ChunkIdHash> cached_;
   typename Containers::template LruMapT<ChunkId, ChunkStat, ChunkIdHash> cached_stats_;
   // Chunks of each video currently on disk (for the unseen-chunk estimate).
-  std::unordered_map<VideoId, std::unordered_set<uint32_t>, container::U64Hash> video_chunks_;
+  typename Containers::ChunkSetMapT video_chunks_;
   // Popularity history of chunks *not* on disk, in recency order for cleanup.
   typename Containers::template LruMapT<ChunkId, ChunkStat, ChunkIdHash> history_;
   // The same chunks ordered by virtual timestamp (Top() = most popular
@@ -157,6 +197,13 @@ class CafeCacheT : public CacheAlgorithm {
   std::vector<ChunkId> all_chunks_scratch_;
   std::vector<ChunkId> missing_scratch_;
   std::vector<std::pair<ChunkId, double>> victims_scratch_;
+  std::vector<uint8_t> contains_scratch_;
+  std::vector<uint32_t> missing_hash_scratch_;
+  // Hash scratch: one slot for the unbatched path, a ring of
+  // kPrefetchDistance + 1 slots for the batched path (slot i + distance is
+  // being written while slot i is being consumed; they never overlap).
+  RequestHashes own_hashes_;
+  std::array<RequestHashes, kPrefetchDistance + 1> batch_hashes_;
 
   // Observability (no-ops until AttachMetrics): the admission-decision mix of
   // Eqs. (6)-(7) and the popularity-tracking queue depths.

@@ -31,6 +31,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "src/core/cache_algorithm.h"
@@ -137,6 +138,15 @@ class FaultDriver {
 
   // Applies every degrade/restore/restart boundary at or before `now`.
   void Advance(double now);
+
+  // Time of the earliest schedule boundary not yet applied, or +infinity
+  // when none remain. Lets a batching replay keep accumulating requests
+  // while an Advance would be a no-op, and drain the batch exactly when a
+  // boundary is about to mutate the cache.
+  double NextBoundaryTime() const {
+    return next_boundary_ < boundaries_.size() ? boundaries_[next_boundary_].time
+                                               : std::numeric_limits<double>::infinity();
+  }
 
   // True if `now` falls inside an outage window of this driver's target
   // (edge outages for edge targets, parent outages for kParentTarget).

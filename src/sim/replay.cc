@@ -80,34 +80,24 @@ ReplayResult Replay(core::CacheAlgorithm& cache, const trace::Trace& trace,
     }
   };
 
-  {
-    VCDN_OBS_SCOPE(options.trace_sink, "replay.loop");
-    for (const trace::Request& request : trace.requests) {
-      if (observing) {
-        auto bucket = static_cast<int64_t>(
-            std::floor(request.arrival_time / options.bucket_seconds));
-        if (current_bucket >= 0 && bucket != current_bucket) {
-          flush(request.arrival_time);
-        }
-        current_bucket = bucket;
-      }
-      bool unavailable = false;
-      if (fault_driver.has_value()) {
-        fault_driver->Advance(request.arrival_time);
-        unavailable = fault_driver->InOutage(request.arrival_time);
-      }
-      core::RequestOutcome outcome;
-      if (unavailable) {
-        // The server is down: the request never reaches the cache and is
-        // origin-served upstream (the hierarchy charges the penalty).
-        outcome.decision = core::Decision::kUnavailable;
-        outcome.requested_bytes = request.size_bytes();
-        outcome.requested_chunks =
-            core::ToChunkRange(request, cache.config().chunk_bytes).count();
-        fault_driver->RecordUnavailable(outcome);
-      } else {
-        outcome = cache.HandleRequest(request);
-      }
+  // Batched admission: consecutive cache-bound requests accumulate into one
+  // RequestBatch (a view into trace.requests -- appends are always adjacent
+  // because every skip path drains first) and reach the cache through one
+  // HandleRequestBatch call. Outcomes are then recorded in arrival order, so
+  // the collector, on_outcome consumers and counters see exactly the
+  // per-request stream.
+  const size_t batch_size = options.batch_size > 0 ? options.batch_size : 1;
+  core::RequestBatch batch;
+  batch.outcomes.resize(batch_size);
+
+  auto drain = [&] {
+    if (batch.count == 0) {
+      return;
+    }
+    cache.HandleRequestBatch(batch);
+    for (size_t i = 0; i < batch.count; ++i) {
+      const trace::Request& request = batch.requests[i];
+      const core::RequestOutcome& outcome = batch.outcomes[i];
       collector.Record(request.arrival_time, outcome);
       if (options.on_outcome) {
         options.on_outcome(request, outcome);
@@ -115,6 +105,59 @@ ReplayResult Replay(core::CacheAlgorithm& cache, const trace::Trace& trace,
       ++processed;
       requests_counter.Increment();
     }
+    batch.requests = nullptr;
+    batch.count = 0;
+  };
+
+  {
+    VCDN_OBS_SCOPE(options.trace_sink, "replay.loop");
+    for (const trace::Request& request : trace.requests) {
+      if (observing) {
+        auto bucket = static_cast<int64_t>(
+            std::floor(request.arrival_time / options.bucket_seconds));
+        if (current_bucket >= 0 && bucket != current_bucket) {
+          drain();  // the flush snapshot must reflect every prior request
+          flush(request.arrival_time);
+        }
+        current_bucket = bucket;
+      }
+      bool unavailable = false;
+      if (fault_driver.has_value()) {
+        if (fault_driver->NextBoundaryTime() <= request.arrival_time) {
+          // A boundary mutates the cache (Resize/DropContents); pending
+          // requests precede it in simulated time, so they go first.
+          drain();
+          fault_driver->Advance(request.arrival_time);
+        }
+        unavailable = fault_driver->InOutage(request.arrival_time);
+      }
+      if (unavailable) {
+        // The server is down: the request never reaches the cache and is
+        // origin-served upstream (the hierarchy charges the penalty).
+        drain();  // keep recording order intact around the outage
+        core::RequestOutcome outcome;
+        outcome.decision = core::Decision::kUnavailable;
+        outcome.requested_bytes = request.size_bytes();
+        outcome.requested_chunks =
+            core::ToChunkRange(request, cache.config().chunk_bytes).count();
+        fault_driver->RecordUnavailable(outcome);
+        collector.Record(request.arrival_time, outcome);
+        if (options.on_outcome) {
+          options.on_outcome(request, outcome);
+        }
+        ++processed;
+        requests_counter.Increment();
+        continue;
+      }
+      if (batch.count == 0) {
+        batch.requests = &request;
+      }
+      ++batch.count;
+      if (batch.count >= batch_size) {
+        drain();
+      }
+    }
+    drain();
   }
 
   ReplayResult result;

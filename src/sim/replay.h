@@ -56,6 +56,14 @@ struct ReplayOptions {
   double measurement_start_fraction = 0.5;
   // Time-series bucket width (Fig. 3 plots are hourly).
   double bucket_seconds = 3600.0;
+  // How many consecutive requests are accumulated into one
+  // CacheAlgorithm::HandleRequestBatch call (1 disables batching). Batches
+  // are cut at bucket flushes, fault boundaries and outage windows, so every
+  // observable -- outcomes, collector totals, series, metrics snapshots,
+  // on_outcome order, fleet digests -- is bit-identical at any batch size;
+  // larger batches only let the cache overlap independent memory accesses
+  // (see CafeCacheT::HandleRequestBatchImpl).
+  size_t batch_size = 16;
 
   // --- observability (all optional) ---
   // Attached to the cache (AttachMetrics) and to the replay's own

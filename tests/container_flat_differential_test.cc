@@ -279,6 +279,58 @@ TEST(FlatDifferentialTest, CafeFlatMatchesReferenceReplay) {
 }
 
 // ---------------------------------------------------------------------------
+// Batched admission at the cache level: HandleRequestBatch vs HandleRequest
+
+template <typename Cache>
+void RunBatchVsSingleDifferential(Cache& batched, Cache& single, uint32_t seed,
+                                  size_t batch_size) {
+  util::Pcg32 rng(seed);
+  constexpr size_t kRequests = 40'000;
+  std::vector<trace::Request> window(batch_size);
+  std::vector<core::RequestOutcome> outcomes(batch_size);
+  double t = 0.0;
+  for (size_t done = 0; done < kRequests;) {
+    // Odd remainders included: the last window is a partial batch.
+    size_t n = std::min(batch_size, kRequests - done);
+    for (size_t i = 0; i < n; ++i) {
+      t += 0.05;
+      window[i] = SkewedRequest(rng, 4000, t);
+    }
+    batched.HandleRequestBatch(window.data(), n, outcomes.data());
+    for (size_t i = 0; i < n; ++i) {
+      core::RequestOutcome expected = single.HandleRequest(window[i]);
+      ASSERT_EQ(outcomes[i].decision, expected.decision) << "request " << done + i;
+      ASSERT_EQ(outcomes[i].hit_chunks, expected.hit_chunks) << "request " << done + i;
+      ASSERT_EQ(outcomes[i].filled_chunks, expected.filled_chunks) << "request " << done + i;
+      ASSERT_EQ(outcomes[i].evicted_chunks, expected.evicted_chunks) << "request " << done + i;
+    }
+    done += n;
+    ASSERT_EQ(batched.used_chunks(), single.used_chunks()) << "after " << done;
+  }
+}
+
+TEST(FlatDifferentialTest, CafeBatchedAdmissionMatchesSingleRequests) {
+  // The software-pipelined CafeCacheT::HandleRequestBatchImpl (hash + prefetch
+  // lookahead) must be outcome-identical to one-at-a-time admission.
+  for (size_t batch_size : {size_t{3}, size_t{16}, size_t{33}}) {
+    core::CafeCache batched(DifferentialConfig());
+    core::CafeCache single(DifferentialConfig());
+    RunBatchVsSingleDifferential(batched, single, 23, batch_size);
+    EXPECT_EQ(batched.tracked_history_chunks(), single.tracked_history_chunks());
+    EXPECT_EQ(batched.CacheAge(5000.0), single.CacheAge(5000.0));
+  }
+}
+
+TEST(FlatDifferentialTest, XlruBatchedAdmissionMatchesSingleRequests) {
+  // xLRU uses the default HandleRequestBatchImpl loop; this pins the
+  // CacheAlgorithm choke-point contract for non-overriding algorithms.
+  core::XlruCache batched(DifferentialConfig());
+  core::XlruCache single(DifferentialConfig());
+  RunBatchVsSingleDifferential(batched, single, 24, 16);
+  EXPECT_EQ(batched.tracked_videos(), single.tracked_videos());
+}
+
+// ---------------------------------------------------------------------------
 // Zero steady-state allocations (counting operator new from vcdn_alloc_hook)
 
 TEST(FlatAllocationTest, HookIsLinked) {
@@ -372,6 +424,57 @@ TEST(FlatAllocationTest, XlruRequestPathSteadyStateIsAllocationFree) {
     cache.HandleRequest(SkewedRequest(rng, 8000, t));
   }
   EXPECT_EQ(scope.Delta().allocations, 0u) << "xLRU steady state must not allocate per request";
+}
+
+TEST(FlatAllocationTest, CafeRequestPathSteadyStateIsAllocationFree) {
+  // The flat Cafe request path -- ContainsMany classification, EWMA updates,
+  // history transitions, victim scans, the flattened video->chunks map and
+  // periodic CleanupHistory -- must reach a fixed working set: after warm-up,
+  // single-request admission performs zero heap allocations.
+  core::CacheConfig config = DifferentialConfig();
+  config.disk_capacity_chunks = 1 << 13;
+  core::CafeCache cache(config);
+  util::Pcg32 rng(34);
+  double t = 0.0;
+  // Warm-up: fill disk + history and grow every slab/scratch to its peak
+  // (CleanupHistory bounds the history, so the footprint converges).
+  for (size_t i = 0; i < 300'000; ++i) {
+    t += 0.01;
+    cache.HandleRequest(SkewedRequest(rng, 6000, t));
+  }
+  util::AllocScope scope;
+  for (size_t i = 0; i < 100'000; ++i) {
+    t += 0.01;
+    cache.HandleRequest(SkewedRequest(rng, 6000, t));
+  }
+  EXPECT_EQ(scope.Delta().allocations, 0u) << "Cafe steady state must not allocate per request";
+}
+
+TEST(FlatAllocationTest, CafeBatchedRequestPathSteadyStateIsAllocationFree) {
+  // Same contract through the batched entry point: the hash ring, outcome
+  // buffer and per-batch scratch are all reused across calls.
+  core::CacheConfig config = DifferentialConfig();
+  config.disk_capacity_chunks = 1 << 13;
+  core::CafeCache cache(config);
+  util::Pcg32 rng(35);
+  constexpr size_t kBatch = 16;
+  std::vector<trace::Request> window(kBatch);
+  std::vector<core::RequestOutcome> outcomes(kBatch);
+  double t = 0.0;
+  auto run = [&](size_t batches) {
+    for (size_t b = 0; b < batches; ++b) {
+      for (size_t i = 0; i < kBatch; ++i) {
+        t += 0.01;
+        window[i] = SkewedRequest(rng, 6000, t);
+      }
+      cache.HandleRequestBatch(window.data(), kBatch, outcomes.data());
+    }
+  };
+  run(20'000);  // warm-up
+  util::AllocScope scope;
+  run(8'000);
+  EXPECT_EQ(scope.Delta().allocations, 0u)
+      << "batched Cafe steady state must not allocate per request";
 }
 
 }  // namespace

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_hotpath.json against the committed baseline.
+
+Usage: check_bench_regression.py BASELINE_JSON FRESH_JSON [--threshold 0.25]
+
+Guards the hot-path replay throughput tracked in BENCH_hotpath.json (the
+MEDIAN-of-repeats headline written by bench_replay_throughput):
+
+  * exits 1 with a GitHub ::error annotation when any flat single-thread
+    headline (xLRU or Cafe requests/sec) regressed by more than the
+    threshold (default 25%);
+  * emits a ::notice annotation -- and still exits 0 -- when a headline
+    improved by more than the threshold, so baseline refreshes don't get
+    forgotten;
+  * skips the comparison (exit 0, ::warning) when the two files measured
+    different workloads (scale / days / seed / request count), because a
+    ratio across different workloads is meaningless.
+
+Thresholded on the median headline rather than a single run so one noisy CI
+neighbor can't fail the build; the raw per-repeat arrays stay in the JSON
+for anyone chasing dispersion.
+"""
+
+import argparse
+import json
+import sys
+
+HEADLINES = [
+    ("xLRU flat", ("single_thread", "xLRU", "flat", "requests_per_sec")),
+    ("Cafe flat", ("single_thread", "Cafe", "flat", "requests_per_sec")),
+]
+
+WORKLOAD_KEYS = ["scale", "days", "chunks_per_paper_tb", "seed", "servers", "requests"]
+
+
+def dig(doc, path):
+    for key in path:
+        if not isinstance(doc, dict) or key not in doc:
+            return None
+        doc = doc[key]
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=0.25)
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    base_workload = {k: dig(baseline, ("workload", k)) for k in WORKLOAD_KEYS}
+    fresh_workload = {k: dig(fresh, ("workload", k)) for k in WORKLOAD_KEYS}
+    if base_workload != fresh_workload:
+        print(
+            "::warning::bench workloads differ (baseline %s vs fresh %s); "
+            "skipping throughput comparison" % (base_workload, fresh_workload)
+        )
+        return 0
+
+    failed = False
+    for label, path in HEADLINES:
+        base = dig(baseline, path)
+        new = dig(fresh, path)
+        if not base or not new:
+            print("::warning::%s missing from %s; skipping" % (label, path[-1]))
+            continue
+        ratio = new / base
+        line = "%s: baseline %.0f req/s, fresh %.0f req/s (%.2fx)" % (label, base, new, ratio)
+        if ratio < 1.0 - args.threshold:
+            print("::error::throughput regression: %s" % line)
+            failed = True
+        elif ratio > 1.0 + args.threshold:
+            print(
+                "::notice::throughput improved past the %d%% band: %s -- consider "
+                "refreshing the committed BENCH_hotpath.json" % (args.threshold * 100, line)
+            )
+        else:
+            print(line)
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
