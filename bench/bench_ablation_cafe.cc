@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
   bench::BenchObs obs(argc, argv);
+  obs.SetWorkload("ablation cafe", scale.seed);
   bench::PrintHeader("Ablation: Cafe Cache design choices (Europe, 1 TB, alpha=2)",
                      "gamma = 0.25 in all paper experiments; chunk-level popularity + "
                      "unseen-chunk estimation drive Cafe's ingress efficiency",
@@ -90,6 +91,5 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s\n", baseline_table.ToString().c_str());
-  obs.WriteIfRequested();
-  return 0;
+  return obs.WriteIfRequested().ok() ? 0 : 1;
 }

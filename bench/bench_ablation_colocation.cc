@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
   bench::BenchObs obs(argc, argv);
+  obs.SetWorkload("ablation colocation", scale.seed);
   bench::PrintHeader(
       "Ablation: co-located servers, hash-mod vs random request splitting (footnote 2)",
       "hash-mod balances load and avoids co-located duplicates; random splitting "
@@ -55,6 +56,5 @@ int main(int argc, char** argv) {
       "Reading: hash-mod sharding preserves nearly all of the monolithic cache's\n"
       "efficiency while keeping byte-load imbalance low; random splitting shows each\n"
       "server a diluted popularity signal and degrades the aggregate.\n");
-  obs.WriteIfRequested();
-  return 0;
+  return obs.WriteIfRequested().ok() ? 0 : 1;
 }

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
   bench::BenchObs obs(argc, argv);
+  obs.SetWorkload("ablation disk interference", scale.seed);
   bench::PrintHeader(
       "Ablation: disk write interference of cache-fill (Sec. 2)",
       "every extra write-block costs 1.2-1.3 reads; conservative ingress (alpha>1) "
@@ -51,6 +52,5 @@ int main(int argc, char** argv) {
       "Reading: on a disk-saturated server the 'lost reads' column is egress the server\n"
       "cannot serve because it is busy ingesting; Cafe at alpha>=2 reduces that loss by\n"
       "an order of magnitude versus always-fill LRU while keeping redirects bounded.\n");
-  obs.WriteIfRequested();
-  return 0;
+  return obs.WriteIfRequested().ok() ? 0 : 1;
 }

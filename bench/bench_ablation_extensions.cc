@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
   bench::BenchObs obs(argc, argv);
+  obs.SetWorkload("ablation extensions", scale.seed);
   bench::PrintHeader(
       "Ablation: Sec. 10 extensions (adaptive alpha, proactive caching, LFU baseline)",
       "future work in the paper; implemented here on top of Cafe Cache",
@@ -91,6 +92,5 @@ int main(int argc, char** argv) {
                            util::FormatPercent(r.redirect_fraction)});
   }
   std::printf("%s\n", baseline_table.ToString().c_str());
-  obs.WriteIfRequested();
-  return 0;
+  return obs.WriteIfRequested().ok() ? 0 : 1;
 }

@@ -102,36 +102,152 @@ core::CacheConfig PaperConfig(double paper_terabytes, double alpha, const BenchS
   return config;
 }
 
-BenchObs::BenchObs(int argc, char** argv) {
+BenchObs::BenchObs(int argc, char** argv) : meta_(obs::CollectRunMetadata()) {
   for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--obs-json") {
+    const std::string arg = argv[i];
+    if (arg == "--obs-json") {
       path_ = argv[i + 1];
-      return;
+    } else if (arg == "--obs-series") {
+      series_path_ = argv[i + 1];
+    } else if (arg == "--post-mortem") {
+      post_mortem_path_ = argv[i + 1];
+    } else if (arg == "--flight") {
+      uint64_t parsed = 0;
+      if (!util::ParseUint64(argv[i + 1], &parsed) || parsed == 0) {
+        std::fprintf(stderr, "warning: ignoring invalid --flight %s\n", argv[i + 1]);
+      } else {
+        flight_capacity_ = static_cast<size_t>(parsed);
+      }
+    }
+  }
+  if (flight_enabled()) {
+    flight_ = std::make_unique<obs::FlightRecorder>(flight_capacity_);
+    if (!post_mortem_path_.empty()) {
+      // From here on, any VCDN_CHECK failure (including a fleet digest
+      // mismatch) dumps the ring to the post-mortem path before aborting.
+      // Re-armed by SetWorkload/SetRunShape so the dump header carries the
+      // most recent run-shape metadata.
+      RearmCrashDump();
     }
   }
 }
 
-void BenchObs::WriteIfRequested() {
-  if (!enabled()) {
-    return;
+BenchObs::~BenchObs() {
+  if (flight_ != nullptr) {
+    obs::DisarmCrashDump(flight_.get());
   }
-  std::ofstream out(path_);
-  if (!out) {
-    std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
-    return;
+}
+
+void BenchObs::RearmCrashDump() {
+  obs::DisarmCrashDump(flight_.get());
+  obs::PostMortemContext context;
+  context.label = "main";
+  obs::ArmCrashDump(flight_.get(), post_mortem_path_, meta_, std::move(context));
+}
+
+void BenchObs::SetWorkload(const std::string& workload, uint64_t seed) {
+  meta_.workload = workload;
+  meta_.seed = seed;
+  if (flight_ != nullptr && !post_mortem_path_.empty()) {
+    RearmCrashDump();
   }
-  obs::WriteObsJson(out, &registry_, &sink_);
-  std::printf("Observability dump written to %s (%zu trace events, %zu instruments)\n",
-              path_.c_str(), sink_.num_events(), registry_.num_instruments());
+}
+
+void BenchObs::SetRunShape(size_t threads, size_t batch) {
+  meta_.threads = threads;
+  meta_.batch = batch;
+  if (flight_ != nullptr && !post_mortem_path_.empty()) {
+    RearmCrashDump();
+  }
+}
+
+util::Status BenchObs::WriteIfRequested() {
+  util::Status result = util::OkStatus();
+  auto record = [&result](util::Status status) {
+    if (!status.ok()) {
+      std::fprintf(stderr, "warning: %s\n", std::string(status.message()).c_str());
+      if (result.ok()) {
+        result = std::move(status);
+      }
+    }
+  };
+
+  if (enabled()) {
+    util::Status status = obs::WriteObsJsonFile(path_, &registry_, &sink_, &meta_);
+    if (status.ok()) {
+      std::printf("Observability dump written to %s (%zu trace events, %zu instruments)\n",
+                  path_.c_str(), sink_.num_events(), registry_.num_instruments());
+    }
+    record(std::move(status));
+  }
+
+  if (series_enabled()) {
+    util::Status status = series_.WriteJsonl(series_path_, meta_);
+    if (status.ok()) {
+      std::printf("Time series written to %s (%zu windows)\n", series_path_.c_str(),
+                  series_.num_windows());
+    }
+    record(std::move(status));
+  }
+
+  if (flight_enabled() && !post_mortem_path_.empty()) {
+    // Fault-boundary captures accumulated during the run; when none fired,
+    // dump the final ring so the file always reflects the run's tail.
+    if (captures_.empty()) {
+      obs::PostMortemContext context;
+      context.trigger = "run_end";
+      context.label = "main";
+      captures_.push_back(obs::CaptureFlight(*flight_, std::move(context)));
+    }
+    std::ofstream out(post_mortem_path_);
+    if (!out) {
+      record(util::InvalidArgumentError("cannot open post-mortem path: " + post_mortem_path_));
+    } else {
+      size_t records = 0;
+      for (const obs::FlightCapture& capture : captures_) {
+        obs::WritePostMortemJsonl(out, meta_, capture);
+        records += capture.records.size();
+      }
+      out.flush();
+      if (!out) {
+        record(util::DataLossError("short write to post-mortem path: " + post_mortem_path_));
+      } else {
+        std::printf("Post-mortem written to %s (%zu capture%s, %zu records)\n",
+                    post_mortem_path_.c_str(), captures_.size(),
+                    captures_.size() == 1 ? "" : "s", records);
+      }
+    }
+    // The run completed; disarm so a late CHECK cannot clobber the dump.
+    obs::DisarmCrashDump(flight_.get());
+  }
+  return result;
+}
+
+sim::ReplayOptions BenchObs::replay_options() {
+  sim::ReplayOptions options;
+  if (enabled() || series_enabled()) {
+    options.metrics = &registry_;
+  }
+  if (enabled()) {
+    options.trace_sink = &sink_;
+  }
+  if (series_enabled()) {
+    options.series = &series_;
+  }
+  if (flight_enabled()) {
+    options.flight = flight_.get();
+    options.flight_captures = &captures_;
+    options.flight_label = "main";
+  }
+  return options;
 }
 
 sim::ReplayResult RunCache(core::CacheKind kind, const trace::Trace& trace,
                            const core::CacheConfig& config, BenchObs* obs) {
   auto cache = core::MakeCache(kind, config);
   sim::ReplayOptions options;
-  if (obs != nullptr && obs->enabled()) {
-    options.metrics = obs->metrics();
-    options.trace_sink = obs->trace_sink();
+  if (obs != nullptr && obs->any_enabled()) {
+    options = obs->replay_options();
   }
   return sim::Replay(*cache, trace, options);
 }
@@ -149,11 +265,10 @@ std::vector<sim::ReplayResult> RunCacheJobs(const std::vector<CacheJob>& jobs,
   for (size_t k = 0; k < flags.repeat; ++k) {
     sim::FleetOptions options;
     options.threads = flags.threads;
-    options.replay.batch_size = flags.batch;
-    if (k + 1 == flags.repeat && obs != nullptr && obs->enabled()) {
-      options.replay.metrics = obs->metrics();
-      options.replay.trace_sink = obs->trace_sink();
+    if (k + 1 == flags.repeat && obs != nullptr && obs->any_enabled()) {
+      options.replay = obs->replay_options();
     }
+    options.replay.batch_size = flags.batch;
     fleet = sim::RunFleet(servers, options);
     uint64_t d = sim::FleetDigest(fleet);
     if (k == 0) {
@@ -161,6 +276,9 @@ std::vector<sim::ReplayResult> RunCacheJobs(const std::vector<CacheJob>& jobs,
     } else {
       VCDN_CHECK(d == digest);  // repeats of a deterministic fleet must agree
     }
+  }
+  if (obs != nullptr && obs->any_enabled()) {
+    obs->SetRunShape(fleet.threads, flags.batch);
   }
   std::printf("Fleet: %zu jobs on %zu thread%s, %.2fs wall%s, digest %016llx\n", jobs.size(),
               fleet.threads, fleet.threads == 1 ? "" : "s", fleet.wall_seconds,

@@ -23,17 +23,22 @@
 #define VCDN_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/core/cache_algorithm.h"
 #include "src/core/cache_factory.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/run_metadata.h"
+#include "src/obs/time_series.h"
 #include "src/obs/trace_event.h"
 #include "src/sim/parallel_fleet.h"
 #include "src/sim/replay.h"
 #include "src/trace/server_profile.h"
 #include "src/trace/workload_generator.h"
+#include "src/util/status.h"
 
 namespace vcdn::bench {
 
@@ -74,40 +79,71 @@ struct BenchFlags {
 };
 BenchFlags FlagsFromArgs(int argc, char** argv);
 
-// Optional observability sink shared by the experiment binaries.
+// Optional observability sinks shared by the experiment binaries:
 //
-// Every bench accepts `--obs-json <path>`: when given, RunCache threads a
-// MetricsRegistry and a TraceEventSink through Replay, and WriteIfRequested
-// dumps the combined document (metrics + Chrome traceEvents, loadable in
-// chrome://tracing / Perfetto) to the path at exit. Without the flag the
-// instruments stay detached and replay runs at full speed.
+//   --obs-json <path>     combined metrics + Chrome traceEvents document
+//                         (chrome://tracing / Perfetto), written at exit.
+//   --obs-series <path>   windowed time-series JSONL: one line per replay
+//                         bucket with counter deltas, gauge values and hdr
+//                         quantiles (obs::TimeSeriesRecorder). Implies the
+//                         metrics registry.
+//   --flight <N>          per-shard flight recorders of capacity N (decision
+//                         ring; alloc-free on the hot path).
+//   --post-mortem <path>  with --flight: fault-boundary captures (and, when
+//                         none fired, the final ring) dump here as JSONL; the
+//                         ring is also armed to dump on any VCDN_CHECK
+//                         failure, including a fleet digest mismatch.
+//
+// Without flags the instruments stay detached and replay runs at full speed.
+// Every artifact embeds obs::RunMetadata (git describe, build type,
+// compiler, workload shape) in its header.
 class BenchObs {
  public:
-  // Scans argv for --obs-json; other flags are left for the bench to handle.
+  // Scans argv for the obs flags; other flags are left for the bench.
   BenchObs(int argc, char** argv);
+  ~BenchObs();
 
   bool enabled() const { return !path_.empty(); }
-  obs::MetricsRegistry* metrics() { return enabled() ? &registry_ : nullptr; }
-  obs::TraceEventSink* trace_sink() { return enabled() ? &sink_ : nullptr; }
+  bool series_enabled() const { return !series_path_.empty(); }
+  bool flight_enabled() const { return flight_capacity_ > 0; }
+  bool any_enabled() const { return enabled() || series_enabled() || flight_enabled(); }
 
-  // Writes the combined JSON document; no-op when --obs-json was not given.
-  void WriteIfRequested();
+  obs::MetricsRegistry* metrics() {
+    return enabled() || series_enabled() ? &registry_ : nullptr;
+  }
+  obs::TraceEventSink* trace_sink() { return enabled() ? &sink_ : nullptr; }
+  // The main flight ring; null unless --flight was given.
+  obs::FlightRecorder* flight() { return flight_.get(); }
+
+  // Run-shape fields embedded in every artifact header (workload and seed
+  // from the bench, threads and batch filled by RunCacheJobs).
+  void SetWorkload(const std::string& workload, uint64_t seed);
+  void SetRunShape(size_t threads, size_t batch);
+
+  // Writes every requested artifact; failures are printed to stderr and the
+  // first non-OK Status is returned (callers that exit through main get the
+  // stderr line either way -- a dropped dump must not look like success).
+  util::Status WriteIfRequested();
 
   // ReplayOptions wired to this BenchObs (empty when disabled), for benches
   // that call sim::Replay directly instead of going through RunCache.
-  sim::ReplayOptions replay_options() {
-    sim::ReplayOptions options;
-    if (enabled()) {
-      options.metrics = &registry_;
-      options.trace_sink = &sink_;
-    }
-    return options;
-  }
+  sim::ReplayOptions replay_options();
 
  private:
+  // Disarm + arm the main flight ring so the crash-dump header carries the
+  // current meta_ (ArmCrashDump copies the metadata at arm time).
+  void RearmCrashDump();
+
   std::string path_;
+  std::string series_path_;
+  std::string post_mortem_path_;
+  size_t flight_capacity_ = 0;
   obs::MetricsRegistry registry_;
   obs::TraceEventSink sink_;
+  obs::TimeSeriesRecorder series_{&registry_};
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::vector<obs::FlightCapture> captures_;
+  obs::RunMetadata meta_;
 };
 
 // Generates the one-month trace of a server profile at the given scale.

@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
   bench::BenchScale scale = bench::ScaleFromEnv();
   bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
   bench::BenchObs obs(argc, argv);
+  obs.SetWorkload("fault resilience", scale.seed);
   const size_t parallel_threads = flags.threads == 0 ? 7 : flags.threads;
   bench::PrintHeader(
       "Fault resilience: seeded outage schedules over the defense lines",
@@ -184,6 +185,6 @@ int main(int argc, char** argv) {
   std::printf("Origin absorbed outage traffic: %s; recovered outside window: %s\n",
               absorbed ? "OK" : "FAIL", recovered ? "OK" : "FAIL");
 
-  obs.WriteIfRequested();
-  return all_match && absorbed && recovered ? 0 : 1;
+  const bool obs_ok = obs.WriteIfRequested().ok();
+  return all_match && absorbed && recovered && obs_ok ? 0 : 1;
 }

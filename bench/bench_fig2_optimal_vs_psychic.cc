@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
   bench::BenchScale scale = bench::ScaleFromEnv();
   bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
   bench::BenchObs obs(argc, argv);
+  obs.SetWorkload("fig2 optimal vs psychic", scale.seed);
   size_t num_files = EnvSize("VCDN_FIG2_FILES", 40);
   size_t max_requests = EnvSize("VCDN_FIG2_REQUESTS", 160);
   bench::PrintHeader(
@@ -197,6 +198,5 @@ int main(int argc, char** argv) {
       }
     }
   }
-  obs.WriteIfRequested();
-  return 0;
+  return obs.WriteIfRequested().ok() ? 0 : 1;
 }

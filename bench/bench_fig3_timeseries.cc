@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
   bench::BenchScale scale = bench::ScaleFromEnv();
   bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
   bench::BenchObs obs(argc, argv);
+  obs.SetWorkload("fig3 timeseries", scale.seed);
   bench::PrintHeader(
       "Figure 3: ingress / redirection / efficiency time series (Europe, 1 TB, alpha=2)",
       "diurnal pattern in ingress & redirects; xLRU ingress >> Cafe ~ Psychic; "
@@ -147,6 +148,5 @@ int main(int argc, char** argv) {
     int bar = peak > 0 ? static_cast<int>(by_hour[static_cast<size_t>(hod)] / peak * 50) : 0;
     std::printf("%02d:00 %s\n", hod, std::string(static_cast<size_t>(bar), '#').c_str());
   }
-  obs.WriteIfRequested();
-  return 0;
+  return obs.WriteIfRequested().ok() ? 0 : 1;
 }

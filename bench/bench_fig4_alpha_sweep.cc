@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   bench::BenchScale scale = bench::ScaleFromEnv();
   bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
   bench::BenchObs obs(argc, argv);
+  obs.SetWorkload("fig4 alpha sweep", scale.seed);
   bench::PrintHeader(
       "Figure 4: efficiency vs alpha_F2R (Europe, 1 TB)",
       "alpha=1: xLRU 59%, Cafe 61%; alpha=2: xLRU 62%, Cafe 73%, Psychic 75%; "
@@ -55,6 +56,5 @@ int main(int argc, char** argv) {
                   util::FormatPercent(psychic.efficiency - xlru.efficiency)});
   }
   std::printf("%s\n", table.ToString().c_str());
-  obs.WriteIfRequested();
-  return 0;
+  return obs.WriteIfRequested().ok() ? 0 : 1;
 }

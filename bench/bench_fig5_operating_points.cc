@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   bench::BenchScale scale = bench::ScaleFromEnv();
   bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
   bench::BenchObs obs(argc, argv);
+  obs.SetWorkload("fig5 operating points", scale.seed);
   bench::PrintHeader(
       "Figure 5: operating points (ingress% vs redirect%) for alpha in {4,2,1,0.5}",
       "xLRU ingress floor ~15% at alpha=4; Cafe/Psychic shrink ingress to a few %; "
@@ -58,6 +59,5 @@ int main(int argc, char** argv) {
               util::FormatPercent(xlru4.ingress_fraction).c_str());
   std::printf("  Cafe ingress at alpha=4:         %s (paper: a few %%)\n",
               util::FormatPercent(cafe4.ingress_fraction).c_str());
-  obs.WriteIfRequested();
-  return 0;
+  return obs.WriteIfRequested().ok() ? 0 : 1;
 }

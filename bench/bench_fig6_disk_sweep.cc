@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   bench::BenchScale scale = bench::ScaleFromEnv();
   bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
   bench::BenchObs obs(argc, argv);
+  obs.SetWorkload("fig6 disk sweep", scale.seed);
   bench::PrintHeader(
       "Figure 6: efficiency vs disk capacity (Europe, alpha=2)",
       "efficiency rises with disk; xLRU needs 2-3x Cafe's disk for equal efficiency "
@@ -88,6 +89,5 @@ int main(int argc, char** argv) {
       }
     }
   }
-  obs.WriteIfRequested();
-  return 0;
+  return obs.WriteIfRequested().ok() ? 0 : 1;
 }

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   bench::BenchScale scale = bench::ScaleFromEnv();
   bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
   bench::BenchObs obs(argc, argv);
+  obs.SetWorkload("fig7 six servers", scale.seed);
   bench::PrintHeader(
       "Figure 7: efficiency across six servers (1 TB, alpha=2)",
       "same ordering everywhere; higher efficiency for narrow request profiles (Asia), "
@@ -77,6 +78,5 @@ int main(int argc, char** argv) {
   std::printf("  xLRU gap wider on SouthAmerica (%s) than Asia (%s) : %s\n",
               util::FormatPercent(sa_gap).c_str(), util::FormatPercent(asia_gap).c_str(),
               sa_gap > asia_gap ? "OK" : "MISMATCH");
-  obs.WriteIfRequested();
-  return 0;
+  return obs.WriteIfRequested().ok() ? 0 : 1;
 }

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   bench::BenchScale scale = bench::ScaleFromEnv();
   bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
   bench::BenchObs obs(argc, argv);
+  obs.SetWorkload("fleet scaling", scale.seed);
   const size_t hardware = std::max<size_t>(1, std::thread::hardware_concurrency());
   const size_t max_threads = ArgSize(argc, argv, "--max-threads", std::min<size_t>(hardware, 8));
   bench::PrintHeader(
@@ -139,6 +140,6 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf("Determinism across thread counts: %s\n", all_match ? "OK" : "MISMATCH");
-  obs.WriteIfRequested();
-  return all_match ? 0 : 1;
+  const bool obs_ok = obs.WriteIfRequested().ok();
+  return all_match && obs_ok ? 0 : 1;
 }

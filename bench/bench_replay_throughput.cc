@@ -27,10 +27,13 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/obs/perf_counters.h"
+#include "src/obs/run_metadata.h"
 #include "src/util/alloc_hook.h"
 #include "src/util/check.h"
 #include "src/util/str_util.h"
@@ -51,6 +54,12 @@ struct SingleThreadRun {
   double allocs_per_request = 0.0;
   double bytes_per_request = 0.0;
   uint64_t requests = 0;
+  // Hardware counters over the request loop (obs::PerfCounterGroup). All
+  // zero with perf_valid=false when perf_event_open is unavailable.
+  bool perf_valid = false;
+  double ipc = 0.0;
+  double llc_misses_per_request = 0.0;
+  double branch_misses_per_request = 0.0;
 };
 
 double Percentile(std::vector<double>& sorted_in_place, double q) {
@@ -67,9 +76,19 @@ double Percentile(std::vector<double>& sorted_in_place, double q) {
 // of kSlice requests. Prepare, cache construction and the outcome buffer
 // are outside the timed region; the allocation counters cover only the
 // request loop.
+//
+// `metrics` / `flight` (both nullable) attach the obs instruments INSIDE the
+// timed region -- counter/hdr updates per request, one flight-ring store per
+// outcome. The caller only passes them on the LAST repeat (the repo-wide
+// "only the last repeat records" rule, see bench_common.h), so at
+// --repeat >= 3 the median headline tracks the uninstrumented hot path
+// while the instrumented repeat still exercises every per-request update
+// and feeds the --obs-json/--obs-series/--post-mortem artifacts.
 SingleThreadRun ReplaySingleThread(vcdn::core::CacheKind kind,
                                    const std::vector<vcdn::trace::Trace>& traces,
-                                   const vcdn::core::CacheConfig& config, size_t batch_size) {
+                                   const vcdn::core::CacheConfig& config, size_t batch_size,
+                                   vcdn::obs::MetricsRegistry* metrics = nullptr,
+                                   vcdn::obs::FlightRecorder* flight = nullptr) {
   using namespace vcdn;
   SingleThreadRun run;
   std::vector<double> slice_ns;
@@ -77,11 +96,26 @@ SingleThreadRun ReplaySingleThread(vcdn::core::CacheKind kind,
   util::AllocStats alloc_total{};
   core::RequestBatch batch;
   batch.outcomes.resize(batch_size);
+  // One accumulated hardware-counter region over every request loop:
+  // Start resets on the first trace, Resume continues on the rest, and the
+  // group is stopped across cache construction / Prepare so the counts
+  // cover the same work as the wall-clock slices.
+  obs::PerfCounterGroup perf;
+  bool perf_started = false;
   for (const trace::Trace& trace : traces) {
     auto cache = core::MakeCache(kind, config);
+    if (metrics != nullptr) {
+      cache->AttachMetrics(*metrics);
+    }
     cache->Prepare(trace);
     const std::vector<trace::Request>& requests = trace.requests;
     util::AllocScope alloc_scope;
+    if (perf_started) {
+      perf.Resume();
+    } else {
+      perf.Start();
+      perf_started = true;
+    }
     for (size_t start = 0; start < requests.size(); start += kSlice) {
       size_t end = std::min(requests.size(), start + kSlice);
       auto t0 = Clock::now();
@@ -89,16 +123,46 @@ SingleThreadRun ReplaySingleThread(vcdn::core::CacheKind kind,
         batch.requests = &requests[i];
         batch.count = std::min(batch_size, end - i);
         cache->HandleRequestBatch(batch);
+        if (flight != nullptr) {
+          // Same packing as sim::Replay's record_flight; clamped casts keep
+          // the record at 32 bytes.
+          for (size_t j = 0; j < batch.count; ++j) {
+            const core::RequestOutcome& outcome = batch.outcomes[j];
+            obs::DecisionRecord record;
+            record.time = requests[i + j].arrival_time;
+            record.key = requests[i + j].video;
+            record.requested_bytes = static_cast<uint32_t>(std::min<uint64_t>(
+                outcome.requested_bytes, std::numeric_limits<uint32_t>::max()));
+            record.filled_chunks = static_cast<uint16_t>(
+                std::min<uint32_t>(outcome.filled_chunks, std::numeric_limits<uint16_t>::max()));
+            record.evicted_chunks = static_cast<uint16_t>(
+                std::min<uint32_t>(outcome.evicted_chunks, std::numeric_limits<uint16_t>::max()));
+            record.hit_chunks = static_cast<uint16_t>(
+                std::min<uint32_t>(outcome.hit_chunks, std::numeric_limits<uint16_t>::max()));
+            record.decision = static_cast<uint8_t>(outcome.decision);
+            flight->Record(record);
+          }
+        }
       }
       auto t1 = Clock::now();
       double ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
       total_seconds += ns * 1e-9;
       slice_ns.push_back(ns / static_cast<double>(end - start));
     }
+    perf.Stop();
     util::AllocStats delta = alloc_scope.Delta();
     alloc_total.allocations += delta.allocations;
     alloc_total.bytes += delta.bytes;
     run.requests += requests.size();
+  }
+  const obs::PerfSample perf_sample = perf.TakeSample();
+  if (perf_sample.valid && run.requests > 0) {
+    run.perf_valid = true;
+    run.ipc = perf_sample.ipc();
+    run.llc_misses_per_request =
+        static_cast<double>(perf_sample.llc_misses) / static_cast<double>(run.requests);
+    run.branch_misses_per_request =
+        static_cast<double>(perf_sample.branch_misses) / static_cast<double>(run.requests);
   }
   run.wall_seconds = total_seconds;
   run.requests_per_sec =
@@ -130,9 +194,13 @@ const SingleThreadRun& MedianRun(const std::vector<SingleThreadRun>& runs) {
 }
 
 void PrintRun(const char* label, const SingleThreadRun& run) {
-  std::printf("  %-14s %10.0f req/s  p50 %7.0f ns  p99 %7.0f ns  %6.2f allocs/req  %8.1f B/req\n",
+  std::printf("  %-14s %10.0f req/s  p50 %7.0f ns  p99 %7.0f ns  %6.2f allocs/req  %8.1f B/req",
               label, run.requests_per_sec, run.ns_per_request_p50, run.ns_per_request_p99,
               run.allocs_per_request, run.bytes_per_request);
+  if (run.perf_valid) {
+    std::printf("  IPC %4.2f  %5.2f LLC-miss/req", run.ipc, run.llc_misses_per_request);
+  }
+  std::printf("\n");
 }
 
 void WriteRunJson(std::ofstream& out, const char* indent, const SingleThreadRun& run) {
@@ -142,7 +210,11 @@ void WriteRunJson(std::ofstream& out, const char* indent, const SingleThreadRun&
       << indent << "\"ns_per_request_p50\": " << run.ns_per_request_p50 << ",\n"
       << indent << "\"ns_per_request_p99\": " << run.ns_per_request_p99 << ",\n"
       << indent << "\"allocs_per_request\": " << run.allocs_per_request << ",\n"
-      << indent << "\"bytes_per_request\": " << run.bytes_per_request << "\n";
+      << indent << "\"bytes_per_request\": " << run.bytes_per_request << ",\n"
+      << indent << "\"perf_valid\": " << (run.perf_valid ? "true" : "false") << ",\n"
+      << indent << "\"ipc\": " << run.ipc << ",\n"
+      << indent << "\"llc_misses_per_request\": " << run.llc_misses_per_request << ",\n"
+      << indent << "\"branch_misses_per_request\": " << run.branch_misses_per_request << "\n";
 }
 
 }  // namespace
@@ -151,6 +223,8 @@ int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
   bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
+  bench::BenchObs obs(argc, argv);
+  obs.SetWorkload("fig7 six servers", scale.seed);
   std::string out_path = "BENCH_hotpath.json";
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--out") {
@@ -189,10 +263,24 @@ int main(int argc, char** argv) {
   };
   std::vector<std::vector<SingleThreadRun>> runs_flat(2);
   std::vector<std::vector<SingleThreadRun>> runs_ref(2);
+  // With any obs flag set, only the LAST repeat carries the instruments --
+  // the same "only the last repeat records" rule as RunCacheJobs
+  // (bench_common.h). At --repeat >= 3 the instrumented repeat is the
+  // slowest and never the median, so the tracked headline stays the
+  // uninstrumented hot path (acceptance bound: obs-enabled medians within
+  // 5% of the committed baseline); the gap it leaves in
+  // repeat_requests_per_sec_* IS the visible hot-path telemetry cost. At
+  // --repeat 1 the single run is both instrumented and the headline.
   for (size_t k = 0; k < flags.repeat; ++k) {
+    const bool last_repeat = (k + 1 == flags.repeat);
+    obs::MetricsRegistry* st_metrics =
+        last_repeat && obs.any_enabled() ? obs.metrics() : nullptr;
+    obs::FlightRecorder* st_flight = last_repeat ? obs.flight() : nullptr;
     for (size_t p = 0; p < 2; ++p) {
-      runs_flat[p].push_back(ReplaySingleThread(pairs[p].flat, traces, config, flags.batch));
-      runs_ref[p].push_back(ReplaySingleThread(pairs[p].reference, traces, config, flags.batch));
+      runs_flat[p].push_back(
+          ReplaySingleThread(pairs[p].flat, traces, config, flags.batch, st_metrics, st_flight));
+      runs_ref[p].push_back(ReplaySingleThread(pairs[p].reference, traces, config, flags.batch,
+                                               st_metrics, st_flight));
     }
   }
   double combined_flat = 0.0;
@@ -242,8 +330,11 @@ int main(int argc, char** argv) {
       ref_jobs.push_back(bench::CacheJob{profiles[s].name, pair.reference, config, &traces[s]});
     }
   }
+  // The obs instruments ride the flat fleet only (the tracked baseline);
+  // attaching to both fleets would interleave two replays of the same
+  // timeline in one series.
   std::printf("Fleet (flat):      ");
-  std::vector<sim::ReplayResult> flat_results = bench::RunCacheJobs(flat_jobs, flags);
+  std::vector<sim::ReplayResult> flat_results = bench::RunCacheJobs(flat_jobs, flags, &obs);
   std::printf("Fleet (reference): ");
   std::vector<sim::ReplayResult> ref_results = bench::RunCacheJobs(ref_jobs, flags);
   VCDN_CHECK(flat_results.size() == ref_results.size());
@@ -260,8 +351,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
     return 1;
   }
+  obs::RunMetadata meta = obs::CollectRunMetadata();
+  meta.workload = "fig7 six servers";
+  meta.seed = scale.seed;
+  meta.threads = flags.threads;
+  meta.batch = flags.batch;
   out << "{\n"
       << "  \"bench\": \"bench_replay_throughput\",\n"
+      << "  \"meta\": ";
+  obs::WriteRunMetadataJson(out, meta);
+  out << ",\n"
       << "  \"workload\": {\n"
       << "    \"figure\": \"fig7 six servers\",\n"
       << "    \"scale\": " << scale.workload_scale << ",\n"
@@ -317,5 +416,5 @@ int main(int argc, char** argv) {
       << "}\n";
   std::printf("Wrote %s (combined single-thread speedup %.2fx)\n", out_path.c_str(),
               combined_speedup);
-  return 0;
+  return obs.WriteIfRequested().ok() ? 0 : 1;
 }

@@ -132,6 +132,11 @@ class CacheAlgorithm {
     evicted_chunks_total_ = registry.GetCounter(prefix + "evicted_chunks_total");
     used_chunks_gauge_ = registry.GetGauge(prefix + "used_chunks");
     request_chunks_hist_ = registry.GetHistogram(prefix + "request_chunks", 0.0, 64.0, 16);
+    // Log-bucketed: request sizes span KBs to GBs, where the uniform
+    // histogram above has no resolution (1 KiB .. 1 GiB, 8 sub-buckets per
+    // octave = 12.5% relative error at every scale).
+    request_bytes_hdr_ = registry.GetHdrHistogram(prefix + "request_bytes", 1024.0,
+                                                  1024.0 * 1024.0 * 1024.0, 8);
     OnAttachMetrics(registry, prefix);
     metrics_attached_ = true;
   }
@@ -241,6 +246,7 @@ class CacheAlgorithm {
     evicted_chunks_total_.Increment(outcome.evicted_chunks);
     used_chunks_gauge_.Set(static_cast<double>(used_chunks()));
     request_chunks_hist_.Observe(static_cast<double>(outcome.requested_chunks));
+    request_bytes_hdr_.Observe(static_cast<double>(outcome.requested_bytes));
     OnOutcomeRecorded();
   }
 
@@ -254,6 +260,7 @@ class CacheAlgorithm {
   obs::Counter evicted_chunks_total_;
   obs::Gauge used_chunks_gauge_;
   obs::Histogram request_chunks_hist_;
+  obs::HdrHistogram request_bytes_hdr_;
 };
 
 }  // namespace vcdn::core

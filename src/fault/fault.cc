@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <string>
 
+#include "src/obs/json_util.h"
 #include "src/util/rng.h"
 
 namespace vcdn::fault {
@@ -139,6 +141,37 @@ FaultSchedule MakeRandomFaultSchedule(uint64_t seed, const RandomFaultOptions& o
   }
   VCDN_CHECK(schedule.Validate().ok());
   return schedule;
+}
+
+std::string FaultScheduleToJson(const FaultSchedule& schedule) {
+  static constexpr const char* kKindNames[] = {"edge_outage", "parent_outage", "disk_degrade",
+                                               "cold_restart", "origin_inflation"};
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const FaultEvent& e : schedule.events()) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "{\"kind\":\"" << kKindNames[static_cast<size_t>(e.kind)] << "\",\"start\":";
+    obs::WriteJsonDouble(out, e.start);
+    out << ",\"end\":";
+    obs::WriteJsonDouble(out, e.end);
+    out << ",\"target\":";
+    if (e.target == kParentTarget) {
+      out << "\"parent\"";
+    } else {
+      out << e.target;
+    }
+    out << ",\"capacity_factor\":";
+    obs::WriteJsonDouble(out, e.capacity_factor);
+    out << ",\"cost_factor\":";
+    obs::WriteJsonDouble(out, e.cost_factor);
+    out << "}";
+  }
+  out << "]";
+  return out.str();
 }
 
 FaultDriver::FaultDriver(const FaultSchedule& schedule, size_t target,

@@ -124,6 +124,12 @@ struct RandomFaultOptions {
 
 FaultSchedule MakeRandomFaultSchedule(uint64_t seed, const RandomFaultOptions& options);
 
+// Renders the schedule as a JSON array of event objects (deterministic:
+// events in insertion order, fixed field order). This is the pre-rendered
+// form obs::PostMortemContext embeds in flight-recorder dumps -- obs sits
+// below fault, so it takes the schedule as a string rather than a type.
+std::string FaultScheduleToJson(const FaultSchedule& schedule);
+
 // Applies one schedule to one replay target: resizes / drops the cache at
 // event boundaries and answers outage membership for the replay clock.
 // Requests must arrive in non-decreasing time order (the replay contract).
@@ -151,6 +157,11 @@ class FaultDriver {
   // True if `now` falls inside an outage window of this driver's target
   // (edge outages for edge targets, parent outages for kParentTarget).
   bool InOutage(double now);
+
+  // True while at least one disk-degrade window is active on this target --
+  // the "degraded but serving" state the flight recorder stamps into its
+  // per-request fault byte (see docs/OBSERVABILITY.md).
+  bool Degraded() const { return !active_degrades_.empty(); }
 
   // Accounts one request that an outage made unavailable. The caller
   // synthesizes the Decision::kUnavailable outcome; the driver only counts.

@@ -1,0 +1,143 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/obs/flight_recorder.h"
+
+#include <fstream>
+#include <mutex>
+#include <utility>
+
+#include "src/obs/json_util.h"
+#include "src/util/check.h"
+
+namespace vcdn::obs {
+
+FlightRecorder::FlightRecorder(size_t capacity) : ring_(capacity) {
+  VCDN_CHECK(capacity > 0);
+}
+
+std::vector<DecisionRecord> FlightRecorder::Snapshot() const {
+  std::vector<DecisionRecord> out;
+  out.reserve(size_);
+  // Oldest record sits at head_ once the ring has wrapped, at 0 before.
+  const size_t start = size_ == ring_.size() ? head_ : 0;
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  head_ = 0;
+  size_ = 0;
+  total_recorded_ = 0;
+}
+
+FlightCapture CaptureFlight(const FlightRecorder& recorder, PostMortemContext context) {
+  FlightCapture capture;
+  capture.context = std::move(context);
+  capture.total_recorded = recorder.total_recorded();
+  capture.records = recorder.Snapshot();
+  return capture;
+}
+
+void WritePostMortemJsonl(std::ostream& out, const RunMetadata& meta,
+                          const FlightCapture& capture) {
+  out << "{\"type\":\"meta\",\"meta\":";
+  WriteRunMetadataJson(out, meta);
+  out << "}\n";
+  out << "{\"type\":\"trigger\",\"trigger\":";
+  WriteJsonString(out, capture.context.trigger);
+  out << ",\"label\":";
+  WriteJsonString(out, capture.context.label);
+  out << ",\"sim_time\":";
+  WriteJsonDouble(out, capture.context.sim_time);
+  out << ",\"records\":" << capture.records.size()
+      << ",\"total_recorded\":" << capture.total_recorded << "}\n";
+  if (!capture.context.fault_schedule_json.empty()) {
+    // Pre-rendered by fault::FaultScheduleToJson -- embedded verbatim.
+    out << "{\"type\":\"fault_schedule\",\"schedule\":" << capture.context.fault_schedule_json
+        << "}\n";
+  }
+  for (const DecisionRecord& record : capture.records) {
+    out << "{\"type\":\"record\",\"seq\":" << record.seq << ",\"time\":";
+    WriteJsonDouble(out, record.time);
+    out << ",\"key\":" << record.key << ",\"decision\":" << static_cast<int>(record.decision)
+        << ",\"bytes\":" << record.requested_bytes << ",\"filled\":" << record.filled_chunks
+        << ",\"evicted\":" << record.evicted_chunks << ",\"hit\":" << record.hit_chunks
+        << ",\"fault\":" << static_cast<int>(record.fault_state) << "}\n";
+  }
+}
+
+util::Status WritePostMortemJsonl(const std::string& path, const RunMetadata& meta,
+                                  const FlightCapture& capture) {
+  std::ofstream out(path);
+  if (!out) {
+    return util::InvalidArgumentError("cannot open post-mortem path: " + path);
+  }
+  WritePostMortemJsonl(out, meta, capture);
+  out.flush();
+  if (!out) {
+    return util::DataLossError("short write to post-mortem path: " + path);
+  }
+  return util::OkStatus();
+}
+
+namespace {
+
+struct ArmedRecorder {
+  const FlightRecorder* recorder;
+  std::string path;
+  RunMetadata meta;
+  PostMortemContext context;
+};
+
+std::mutex& ArmedMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<ArmedRecorder>& ArmedList() {
+  static std::vector<ArmedRecorder> armed;
+  return armed;
+}
+
+// The util::SetCheckFailureHook target: dump every armed recorder, then let
+// the CHECK abort proceed. Runs at most once (the hook layer once-guards).
+void DumpArmedRecorders() {
+  std::lock_guard<std::mutex> lock(ArmedMutex());
+  for (const ArmedRecorder& armed : ArmedList()) {
+    PostMortemContext context = armed.context;
+    context.trigger = "check_failure";
+    // Best-effort on the abort path: a failed write has nowhere to report.
+    (void)WritePostMortemJsonl(armed.path, armed.meta,
+                               CaptureFlight(*armed.recorder, std::move(context)));
+  }
+}
+
+}  // namespace
+
+void ArmCrashDump(const FlightRecorder* recorder, std::string path, RunMetadata meta,
+                  PostMortemContext context) {
+  VCDN_CHECK(recorder != nullptr);
+  std::lock_guard<std::mutex> lock(ArmedMutex());
+  ArmedList().push_back(
+      {recorder, std::move(path), std::move(meta), std::move(context)});
+  util::SetCheckFailureHook(&DumpArmedRecorders);
+}
+
+void DisarmCrashDump(const FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(ArmedMutex());
+  auto& armed = ArmedList();
+  for (auto it = armed.begin(); it != armed.end();) {
+    if (it->recorder == recorder) {
+      it = armed.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (armed.empty()) {
+    util::SetCheckFailureHook(nullptr);
+  }
+}
+
+}  // namespace vcdn::obs

@@ -1,0 +1,134 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/obs/hdr_histogram.h"
+
+#include <cmath>
+
+namespace vcdn::obs {
+
+namespace {
+
+size_t OctavesFor(double lo, double hi) {
+  // Smallest k with lo * 2^k >= hi.
+  size_t k = 0;
+  double edge = lo;
+  while (edge < hi) {
+    edge *= 2.0;
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace
+
+HdrHistogramCell::HdrHistogramCell(double lo, double hi, size_t sub_buckets)
+    : lo_(lo), hi_(hi), sub_(sub_buckets), octaves_(OctavesFor(lo, hi)),
+      counts_(octaves_ * sub_buckets) {
+  VCDN_CHECK(lo > 0.0);
+  VCDN_CHECK(hi > lo);
+  VCDN_CHECK(sub_buckets > 0);
+}
+
+size_t HdrHistogramCell::IndexOf(double value) const {
+  if (!(value >= lo_)) {  // also catches NaN
+    return kUnderflow;
+  }
+  if (value >= hi_) {
+    return kOverflow;
+  }
+  const double ratio = value / lo_;
+  int exponent = std::ilogb(ratio);  // ratio in [2^exponent, 2^(exponent+1))
+  if (exponent < 0) {
+    exponent = 0;  // fp guard: value barely above lo can round ratio below 1
+  }
+  double mantissa = ratio / std::ldexp(1.0, exponent);  // [1, 2)
+  auto sub_index = static_cast<size_t>((mantissa - 1.0) * static_cast<double>(sub_));
+  if (sub_index >= sub_) {  // fp round-up edge
+    sub_index = sub_ - 1;
+  }
+  size_t index = static_cast<size_t>(exponent) * sub_ + sub_index;
+  if (index >= counts_.size()) {  // values in the final partial octave
+    index = counts_.size() - 1;
+  }
+  return index;
+}
+
+void HdrHistogramCell::Bump(size_t index, uint64_t delta) {
+  if (index == kUnderflow) {
+    underflow_.fetch_add(delta, std::memory_order_relaxed);
+  } else if (index == kOverflow) {
+    overflow_.fetch_add(delta, std::memory_order_relaxed);
+  } else {
+    counts_[index].fetch_add(delta, std::memory_order_relaxed);
+  }
+}
+
+double HdrHistogramCell::bucket_lo(size_t i) const {
+  const size_t octave = i / sub_;
+  const size_t sub_index = i % sub_;
+  return lo_ * std::ldexp(1.0, static_cast<int>(octave)) *
+         (1.0 + static_cast<double>(sub_index) / static_cast<double>(sub_));
+}
+
+uint64_t HdrHistogramCell::total_count() const {
+  uint64_t total = underflow() + overflow();
+  for (const auto& count : counts_) {
+    total += count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double HdrHistogramCell::Quantile(double q) const {
+  std::vector<uint64_t> counts(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return QuantileFromCounts(q, counts, underflow(), overflow());
+}
+
+double HdrHistogramCell::QuantileFromCounts(double q, const std::vector<uint64_t>& counts,
+                                            uint64_t underflow, uint64_t overflow) const {
+  VCDN_CHECK(counts.size() == counts_.size());
+  uint64_t total = underflow + overflow;
+  for (uint64_t count : counts) {
+    total += count;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  } else if (q > 1.0) {
+    q = 1.0;
+  }
+  // Rank of the target observation, 1-based; q = 0 reads the minimum.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) {
+    rank = 1;
+  }
+  // Underflow mass clamps to the low edge, overflow mass to the high edge.
+  if (rank <= underflow) {
+    return lo_;
+  }
+  uint64_t cumulative = underflow;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) {
+      const double top = (i + 1 == counts.size()) ? hi_ : bucket_lo(i + 1);
+      return 0.5 * (bucket_lo(i) + top);
+    }
+  }
+  return hi_;
+}
+
+void HdrHistogramCell::MergeFrom(const HdrHistogramCell& other) {
+  VCDN_CHECK(other.lo_ == lo_ && other.hi_ == hi_ && other.sub_ == sub_ &&
+             other.counts_.size() == counts_.size());
+  Bump(kUnderflow, other.underflow());
+  Bump(kOverflow, other.overflow());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i].fetch_add(other.bucket_count(i), std::memory_order_relaxed);
+  }
+}
+
+}  // namespace vcdn::obs

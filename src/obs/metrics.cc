@@ -2,6 +2,9 @@
 
 #include "src/obs/metrics.h"
 
+#include <fstream>
+#include <utility>
+
 #include "src/obs/json_util.h"
 
 namespace vcdn::obs {
@@ -11,6 +14,7 @@ MetricsRegistry::MetricsRegistry(MetricsRegistry&& other) noexcept {
   counters_ = std::move(other.counters_);
   gauges_ = std::move(other.gauges_);
   histograms_ = std::move(other.histograms_);
+  hdr_histograms_ = std::move(other.hdr_histograms_);
 }
 
 MetricsRegistry& MetricsRegistry::operator=(MetricsRegistry&& other) noexcept {
@@ -19,6 +23,7 @@ MetricsRegistry& MetricsRegistry::operator=(MetricsRegistry&& other) noexcept {
     counters_ = std::move(other.counters_);
     gauges_ = std::move(other.gauges_);
     histograms_ = std::move(other.histograms_);
+    hdr_histograms_ = std::move(other.hdr_histograms_);
   }
   return *this;
 }
@@ -53,6 +58,18 @@ Histogram MetricsRegistry::GetHistogram(std::string_view name, double lo, double
   return Histogram(it->second.get());
 }
 
+HdrHistogram MetricsRegistry::GetHdrHistogram(std::string_view name, double lo, double hi,
+                                              size_t sub_buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hdr_histograms_.find(name);
+  if (it == hdr_histograms_.end()) {
+    it = hdr_histograms_
+             .emplace(std::string(name), std::make_unique<HdrHistogramCell>(lo, hi, sub_buckets))
+             .first;
+  }
+  return HdrHistogram(it->second.get());
+}
+
 uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
@@ -68,12 +85,25 @@ double MetricsRegistry::GaugeValue(std::string_view name) const {
 bool MetricsRegistry::Has(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_.find(name) != counters_.end() || gauges_.find(name) != gauges_.end() ||
-         histograms_.find(name) != histograms_.end();
+         histograms_.find(name) != histograms_.end() ||
+         hdr_histograms_.find(name) != hdr_histograms_.end();
 }
 
 size_t MetricsRegistry::num_instruments() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return counters_.size() + gauges_.size() + histograms_.size();
+  return counters_.size() + gauges_.size() + histograms_.size() + hdr_histograms_.size();
+}
+
+const HdrHistogramCell* MetricsRegistry::FindHdrHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hdr_histograms_.find(name);
+  return it != hdr_histograms_.end() ? it->second.get() : nullptr;
+}
+
+const HistogramCell* MetricsRegistry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it != histograms_.end() ? it->second.get() : nullptr;
 }
 
 std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterSamples() const {
@@ -116,6 +146,27 @@ std::vector<MetricsRegistry::HistogramSample> MetricsRegistry::HistogramSamples(
   return out;
 }
 
+std::vector<MetricsRegistry::HdrHistogramSample> MetricsRegistry::HdrHistogramSamples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HdrHistogramSample> out;
+  out.reserve(hdr_histograms_.size());
+  for (const auto& [name, hist] : hdr_histograms_) {
+    HdrHistogramSample sample;
+    sample.name = name;
+    sample.lo = hist->lo();
+    sample.hi = hist->hi();
+    sample.sub_buckets = hist->sub_buckets();
+    sample.underflow = hist->underflow();
+    sample.overflow = hist->overflow();
+    sample.counts.reserve(hist->num_buckets());
+    for (size_t i = 0; i < hist->num_buckets(); ++i) {
+      sample.counts.push_back(hist->bucket_count(i));
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
 void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
   VCDN_CHECK(this != &other);
   // Counters/gauges: snapshot the source under its own lock, then fold in
@@ -138,6 +189,16 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
                  .emplace(name, std::make_unique<HistogramCell>(
                                     cell->bucket_lo(0), cell->bucket_lo(cell->num_buckets()),
                                     cell->num_buckets()))
+                 .first;
+      }
+      it->second->MergeFrom(*cell);
+    }
+    for (const auto& [name, cell] : other.hdr_histograms_) {
+      auto it = hdr_histograms_.find(name);
+      if (it == hdr_histograms_.end()) {
+        it = hdr_histograms_
+                 .emplace(name, std::make_unique<HdrHistogramCell>(cell->lo(), cell->hi(),
+                                                                   cell->sub_buckets()))
                  .first;
       }
       it->second->MergeFrom(*cell);
@@ -192,7 +253,52 @@ void MetricsRegistry::WriteJson(std::ostream& out) const {
     }
     out << "]}";
   }
+  out << "},\"hdr_histograms\":{";
+  first = true;
+  for (const auto& sample : HdrHistogramSamples()) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    const HdrHistogramCell* cell = FindHdrHistogram(sample.name);
+    WriteJsonString(out, sample.name);
+    out << ":{\"lo\":";
+    WriteJsonDouble(out, sample.lo);
+    out << ",\"hi\":";
+    WriteJsonDouble(out, sample.hi);
+    out << ",\"sub_buckets\":" << sample.sub_buckets << ",\"underflow\":" << sample.underflow
+        << ",\"overflow\":" << sample.overflow;
+    static constexpr std::pair<const char*, double> kQuantiles[] = {
+        {"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"p999", 0.999}};
+    for (const auto& [label, q] : kQuantiles) {
+      out << ",\"" << label << "\":";
+      WriteJsonDouble(out, cell->QuantileFromCounts(q, sample.counts, sample.underflow,
+                                                    sample.overflow));
+    }
+    out << ",\"counts\":[";
+    for (size_t i = 0; i < sample.counts.size(); ++i) {
+      if (i > 0) {
+        out << ",";
+      }
+      out << sample.counts[i];
+    }
+    out << "]}";
+  }
   out << "}}";
+}
+
+util::Status MetricsRegistry::SnapshotJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return util::InvalidArgumentError("cannot open metrics snapshot path: " + path);
+  }
+  WriteJson(out);
+  out << "\n";
+  out.flush();
+  if (!out) {
+    return util::DataLossError("short write to metrics snapshot path: " + path);
+  }
+  return util::OkStatus();
 }
 
 }  // namespace vcdn::obs

@@ -41,7 +41,9 @@
 #include <string_view>
 #include <vector>
 
+#include "src/obs/hdr_histogram.h"
 #include "src/util/check.h"
+#include "src/util/status.h"
 
 namespace vcdn::obs {
 
@@ -213,6 +215,12 @@ class MetricsRegistry {
   Gauge GetGauge(std::string_view name);
   // For an existing name the original bucket layout is kept.
   Histogram GetHistogram(std::string_view name, double lo, double hi, size_t num_buckets);
+  // Log-bucketed counterpart (see src/obs/hdr_histogram.h): [lo, hi) split
+  // into octaves of `sub_buckets` linear sub-buckets. Same find-or-create and
+  // layout-keeping rules as GetHistogram; histograms and hdr histograms live
+  // in separate namespaces (one name may back both, though the naming
+  // convention keeps them distinct).
+  HdrHistogram GetHdrHistogram(std::string_view name, double lo, double hi, size_t sub_buckets);
 
   // Point reads, mainly for tests and reporters; 0 for unknown names.
   uint64_t CounterValue(std::string_view name) const;
@@ -233,6 +241,20 @@ class MetricsRegistry {
     std::vector<uint64_t> counts;
   };
   std::vector<HistogramSample> HistogramSamples() const;
+  struct HdrHistogramSample {
+    std::string name;
+    double lo = 0.0;
+    double hi = 0.0;
+    size_t sub_buckets = 0;
+    uint64_t underflow = 0;
+    uint64_t overflow = 0;
+    std::vector<uint64_t> counts;
+  };
+  std::vector<HdrHistogramSample> HdrHistogramSamples() const;
+  // The live cell for a registered hdr histogram (layout queries, windowed
+  // quantiles); null for unknown names.
+  const HdrHistogramCell* FindHdrHistogram(std::string_view name) const;
+  const HistogramCell* FindHistogram(std::string_view name) const;
 
   // Folds another registry into this one, find-or-creating instruments as
   // needed: counters and histogram buckets add, gauges overwrite (matching
@@ -242,8 +264,16 @@ class MetricsRegistry {
   // relies on (docs/PARALLELISM.md). `other` must not be this registry.
   void MergeFrom(const MetricsRegistry& other);
 
-  // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...},
+  // "hdr_histograms":{...}} (hdr entries carry p50/p90/p99/p999 quantiles
+  // next to their raw counts).
   void WriteJson(std::ostream& out) const;
+
+  // Writes the WriteJson document to `path`, replacing the file. Returns a
+  // non-OK Status naming the path when the file cannot be opened or the
+  // write fails -- callers must surface it; a dropped snapshot that looks
+  // like a successful run is how regressions hide.
+  util::Status SnapshotJson(const std::string& path) const;
 
  private:
   // std::map keeps export order deterministic; unique_ptr keeps cell
@@ -252,6 +282,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<std::atomic<uint64_t>>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<std::atomic<double>>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<HistogramCell>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<HdrHistogramCell>, std::less<>> hdr_histograms_;
 };
 
 }  // namespace vcdn::obs

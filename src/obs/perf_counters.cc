@@ -1,0 +1,142 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/obs/perf_counters.h"
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <initializer_list>
+#endif
+
+namespace vcdn::obs {
+
+#ifdef __linux__
+
+namespace {
+
+int OpenCounter(uint32_t type, uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  if (group_fd < 0) {
+    attr.disabled = 1;  // the leader starts the group
+  }
+  attr.exclude_kernel = 1;               // lets perf_event_paranoid=2 boxes count
+  attr.exclude_hv = 1;
+  attr.read_format =
+      PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  // pid=0, cpu=-1: this thread, any CPU.
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup() {
+  leader_fd_ = OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (leader_fd_ < 0) {
+    return;  // unavailable; leave every fd at -1
+  }
+  instructions_fd_ = OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, leader_fd_);
+  llc_misses_fd_ = OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, leader_fd_);
+  branch_misses_fd_ = OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES, leader_fd_);
+  // Siblings are optional: some machines (VMs in particular) expose cycles
+  // but not cache or branch events. The group stays usable with whatever
+  // opened; TakeSample reads only the present members.
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (int fd : {branch_misses_fd_, llc_misses_fd_, instructions_fd_, leader_fd_}) {
+    if (fd >= 0) {
+      close(fd);
+    }
+  }
+}
+
+void PerfCounterGroup::Start() {
+  if (leader_fd_ < 0) {
+    return;
+  }
+  ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+void PerfCounterGroup::Resume() {
+  if (leader_fd_ < 0) {
+    return;
+  }
+  ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+void PerfCounterGroup::Stop() {
+  if (leader_fd_ < 0) {
+    return;
+  }
+  ioctl(leader_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfSample PerfCounterGroup::TakeSample() const {
+  PerfSample sample;
+  if (leader_fd_ < 0) {
+    return sample;
+  }
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+  // Group members appear in open order: cycles, then whichever siblings
+  // opened (instructions, llc, branch).
+  uint64_t buf[3 + 4] = {0};
+  const ssize_t want = static_cast<ssize_t>(sizeof(buf));
+  const ssize_t got = read(leader_fd_, buf, sizeof(buf));
+  if (got < static_cast<ssize_t>(4 * sizeof(uint64_t)) || got > want) {
+    return sample;
+  }
+  const uint64_t nr = buf[0];
+  sample.time_enabled_ns = buf[1];
+  sample.time_running_ns = buf[2];
+  if (sample.time_running_ns == 0) {
+    return sample;  // never scheduled on a PMU; nothing to report
+  }
+  const double scale = sample.time_enabled_ns > sample.time_running_ns
+                           ? static_cast<double>(sample.time_enabled_ns) /
+                                 static_cast<double>(sample.time_running_ns)
+                           : 1.0;
+  auto scaled = [scale](uint64_t raw) {
+    return static_cast<uint64_t>(static_cast<double>(raw) * scale);
+  };
+  uint64_t values[4] = {0};
+  for (uint64_t i = 0; i < nr && i < 4; ++i) {
+    values[i] = buf[3 + i];
+  }
+  // Map open order back to fields, skipping siblings that failed to open.
+  size_t index = 0;
+  sample.cycles = scaled(values[index++]);
+  if (instructions_fd_ >= 0 && index < nr) {
+    sample.instructions = scaled(values[index++]);
+  }
+  if (llc_misses_fd_ >= 0 && index < nr) {
+    sample.llc_misses = scaled(values[index++]);
+  }
+  if (branch_misses_fd_ >= 0 && index < nr) {
+    sample.branch_misses = scaled(values[index++]);
+  }
+  sample.valid = true;
+  return sample;
+}
+
+#else  // !__linux__
+
+PerfCounterGroup::PerfCounterGroup() = default;
+PerfCounterGroup::~PerfCounterGroup() = default;
+void PerfCounterGroup::Start() {}
+void PerfCounterGroup::Resume() {}
+void PerfCounterGroup::Stop() {}
+PerfSample PerfCounterGroup::TakeSample() const { return PerfSample(); }
+
+#endif  // __linux__
+
+}  // namespace vcdn::obs

@@ -1,0 +1,47 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/obs/run_metadata.h"
+
+#include "src/obs/json_util.h"
+
+// CMake injects VCDN_GIT_DESCRIBE at configure time (see
+// src/obs/CMakeLists.txt); a build outside CMake still compiles.
+#ifndef VCDN_GIT_DESCRIBE
+#define VCDN_GIT_DESCRIBE "unknown"
+#endif
+#ifndef VCDN_BUILD_TYPE
+#ifdef NDEBUG
+#define VCDN_BUILD_TYPE "release(NDEBUG)"
+#else
+#define VCDN_BUILD_TYPE "debug"
+#endif
+#endif
+
+namespace vcdn::obs {
+
+RunMetadata CollectRunMetadata() {
+  RunMetadata meta;
+  meta.git_describe = VCDN_GIT_DESCRIBE;
+  meta.build_type = VCDN_BUILD_TYPE;
+#ifdef __VERSION__
+  meta.compiler = __VERSION__;
+#else
+  meta.compiler = "unknown";
+#endif
+  return meta;
+}
+
+void WriteRunMetadataJson(std::ostream& out, const RunMetadata& meta) {
+  out << "{\"git\":";
+  WriteJsonString(out, meta.git_describe);
+  out << ",\"build_type\":";
+  WriteJsonString(out, meta.build_type);
+  out << ",\"compiler\":";
+  WriteJsonString(out, meta.compiler);
+  out << ",\"workload\":";
+  WriteJsonString(out, meta.workload);
+  out << ",\"seed\":" << meta.seed << ",\"threads\":" << meta.threads
+      << ",\"batch\":" << meta.batch << "}";
+}
+
+}  // namespace vcdn::obs

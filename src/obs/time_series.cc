@@ -1,0 +1,194 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/obs/time_series.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "src/obs/hdr_histogram.h"
+#include "src/obs/json_util.h"
+#include "src/util/check.h"
+
+namespace vcdn::obs {
+
+void TimeSeriesRecorder::EndWindow(double start, double end) {
+  VCDN_CHECK(windows_.empty() || start > windows_.back().start);
+  SeriesWindow window;
+  window.start = start;
+  window.end = end;
+  if (registry_ != nullptr) {
+    for (const auto& [name, value] : registry_->CounterSamples()) {
+      uint64_t& base = counter_base_[name];
+      window.counters.emplace_back(name, value - base);
+      base = value;
+    }
+    window.gauges = registry_->GaugeSamples();
+    for (auto& sample : registry_->HdrHistogramSamples()) {
+      HdrBase& base = hdr_base_[sample.name];
+      if (base.counts.size() != sample.counts.size()) {
+        base.counts.assign(sample.counts.size(), 0);
+      }
+      SeriesWindow::HdrDelta delta;
+      delta.lo = sample.lo;
+      delta.hi = sample.hi;
+      delta.sub_buckets = sample.sub_buckets;
+      delta.underflow = sample.underflow - base.underflow;
+      delta.overflow = sample.overflow - base.overflow;
+      delta.counts.resize(sample.counts.size());
+      for (size_t i = 0; i < sample.counts.size(); ++i) {
+        delta.counts[i] = sample.counts[i] - base.counts[i];
+      }
+      base.underflow = sample.underflow;
+      base.overflow = sample.overflow;
+      base.counts = std::move(sample.counts);
+      window.hdr.emplace_back(sample.name, std::move(delta));
+    }
+  }
+  windows_.push_back(std::move(window));
+}
+
+namespace {
+
+// Folds `src` into `dst`, both name-sorted, applying `merge` to shared names
+// and inserting names only `src` has (keeping sort order).
+template <typename T, typename MergeFn>
+void MergeSortedByName(std::vector<std::pair<std::string, T>>& dst,
+                       const std::vector<std::pair<std::string, T>>& src, MergeFn merge) {
+  std::vector<std::pair<std::string, T>> out;
+  out.reserve(dst.size() + src.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < dst.size() || j < src.size()) {
+    if (j == src.size() || (i < dst.size() && dst[i].first < src[j].first)) {
+      out.push_back(std::move(dst[i++]));
+    } else if (i == dst.size() || src[j].first < dst[i].first) {
+      out.push_back(src[j++]);
+    } else {
+      merge(dst[i].second, src[j].second);
+      out.push_back(std::move(dst[i]));
+      ++i;
+      ++j;
+    }
+  }
+  dst = std::move(out);
+}
+
+void MergeWindow(SeriesWindow& dst, const SeriesWindow& src) {
+  dst.end = std::max(dst.end, src.end);
+  MergeSortedByName(dst.counters, src.counters,
+                    [](uint64_t& a, const uint64_t& b) { a += b; });
+  // Gauges are last-writer-wins; merging in server order makes the source
+  // (the later shard) the last writer, matching registry MergeFrom.
+  MergeSortedByName(dst.gauges, src.gauges, [](double& a, const double& b) { a = b; });
+  MergeSortedByName(dst.hdr, src.hdr,
+                    [](SeriesWindow::HdrDelta& a, const SeriesWindow::HdrDelta& b) {
+                      VCDN_CHECK(a.lo == b.lo && a.hi == b.hi &&
+                                 a.sub_buckets == b.sub_buckets &&
+                                 a.counts.size() == b.counts.size());
+                      a.underflow += b.underflow;
+                      a.overflow += b.overflow;
+                      for (size_t i = 0; i < a.counts.size(); ++i) {
+                        a.counts[i] += b.counts[i];
+                      }
+                    });
+}
+
+}  // namespace
+
+void TimeSeriesRecorder::MergeFrom(const TimeSeriesRecorder& other) {
+  std::vector<SeriesWindow> out;
+  out.reserve(windows_.size() + other.windows_.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < windows_.size() || j < other.windows_.size()) {
+    if (j == other.windows_.size() ||
+        (i < windows_.size() && windows_[i].start < other.windows_[j].start)) {
+      out.push_back(std::move(windows_[i++]));
+    } else if (i == windows_.size() || other.windows_[j].start < windows_[i].start) {
+      out.push_back(other.windows_[j++]);
+    } else {
+      MergeWindow(windows_[i], other.windows_[j]);
+      out.push_back(std::move(windows_[i]));
+      ++i;
+      ++j;
+    }
+  }
+  windows_ = std::move(out);
+}
+
+void TimeSeriesRecorder::WriteJsonl(std::ostream& out, const RunMetadata& meta) const {
+  out << "{\"type\":\"meta\",\"meta\":";
+  WriteRunMetadataJson(out, meta);
+  out << ",\"windows\":" << windows_.size() << "}\n";
+  for (const SeriesWindow& window : windows_) {
+    out << "{\"type\":\"window\",\"start\":";
+    WriteJsonDouble(out, window.start);
+    out << ",\"end\":";
+    WriteJsonDouble(out, window.end);
+    out << ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, delta] : window.counters) {
+      if (!first) {
+        out << ",";
+      }
+      first = false;
+      WriteJsonString(out, name);
+      out << ":" << delta;
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : window.gauges) {
+      if (!first) {
+        out << ",";
+      }
+      first = false;
+      WriteJsonString(out, name);
+      out << ":";
+      WriteJsonDouble(out, value);
+    }
+    out << "},\"hdr\":{";
+    first = true;
+    for (const auto& [name, delta] : window.hdr) {
+      if (!first) {
+        out << ",";
+      }
+      first = false;
+      // A scratch cell with the recorded layout gives the quantile math; the
+      // delta counts are evaluated against it. Serialization-time only, so
+      // the allocation is off the hot path.
+      HdrHistogramCell layout(delta.lo, delta.hi, delta.sub_buckets);
+      uint64_t count = delta.underflow + delta.overflow;
+      for (uint64_t c : delta.counts) {
+        count += c;
+      }
+      WriteJsonString(out, name);
+      out << ":{\"count\":" << count << ",\"underflow\":" << delta.underflow
+          << ",\"overflow\":" << delta.overflow;
+      static constexpr std::pair<const char*, double> kQuantiles[] = {
+          {"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"p999", 0.999}};
+      for (const auto& [label, q] : kQuantiles) {
+        out << ",\"" << label << "\":";
+        WriteJsonDouble(out, layout.QuantileFromCounts(q, delta.counts, delta.underflow,
+                                                       delta.overflow));
+      }
+      out << "}";
+    }
+    out << "}}\n";
+  }
+}
+
+util::Status TimeSeriesRecorder::WriteJsonl(const std::string& path,
+                                            const RunMetadata& meta) const {
+  std::ofstream out(path);
+  if (!out) {
+    return util::InvalidArgumentError("cannot open obs series path: " + path);
+  }
+  WriteJsonl(out, meta);
+  out.flush();
+  if (!out) {
+    return util::DataLossError("short write to obs series path: " + path);
+  }
+  return util::OkStatus();
+}
+
+}  // namespace vcdn::obs

@@ -1,0 +1,107 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Windowed time-series over a MetricsRegistry: a TimeSeriesRecorder snapshots
+// the registry at simulated-time window boundaries (the replay's bucket
+// flushes -- see sim::Replay) and stores, per window,
+//
+//   * counters as deltas since the previous window,
+//   * gauges as the last value seen in the window,
+//   * hdr histograms as per-window delta *counts* (quantiles are computed
+//     only at serialization time, from the deltas).
+//
+// Storing delta counts rather than quantiles is what makes shard merges
+// exact: counts are sums, so merging per-shard recorders window-by-window in
+// server order reproduces the sequential single-registry series bit for bit
+// -- the same determinism contract the registry's own MergeFrom documents
+// (docs/PARALLELISM.md). Windows are keyed by their start time, which all
+// shards share because bucket edges come from the trace clock, not from any
+// per-shard state.
+//
+// Serialization is compact JSONL (--obs-series): one meta header line with
+// the RunMetadata, then one line per window. See docs/OBSERVABILITY.md for
+// the schema and an end-to-end example.
+//
+// Not thread-safe: a recorder belongs to one replay (one shard). Cross-shard
+// aggregation goes through MergeFrom after the shards join.
+
+#ifndef VCDN_SRC_OBS_TIME_SERIES_H_
+#define VCDN_SRC_OBS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/run_metadata.h"
+#include "src/util/status.h"
+
+namespace vcdn::obs {
+
+// One captured window. Instrument vectors are name-sorted (inherited from the
+// registry's sorted snapshots), so serialized output is byte-stable.
+struct SeriesWindow {
+  double start = 0.0;
+  double end = 0.0;
+  // Counter deltas over the window.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  // Gauge last-values at the window boundary.
+  std::vector<std::pair<std::string, double>> gauges;
+  // Hdr histogram delta counts over the window, with the cell layout carried
+  // along so quantiles can be recomputed after merging.
+  struct HdrDelta {
+    double lo = 0.0;
+    double hi = 0.0;
+    size_t sub_buckets = 0;
+    uint64_t underflow = 0;
+    uint64_t overflow = 0;
+    std::vector<uint64_t> counts;
+  };
+  std::vector<std::pair<std::string, HdrDelta>> hdr;
+};
+
+class TimeSeriesRecorder {
+ public:
+  // A recorder with no registry is inert: EndWindow records empty windows.
+  TimeSeriesRecorder() = default;
+  explicit TimeSeriesRecorder(const MetricsRegistry* registry) : registry_(registry) {}
+
+  // Closes the window [start, end): snapshots the registry, stores deltas
+  // against the previous snapshot, and advances the baseline. Call on every
+  // bucket flush; window starts must be strictly increasing.
+  void EndWindow(double start, double end);
+
+  // Folds another recorder's windows into this one, aligned by window start:
+  // counter and hdr deltas add, gauges overwrite (merge in server order to
+  // reproduce the sequential last-writer). Windows only one side recorded
+  // are kept as-is.
+  void MergeFrom(const TimeSeriesRecorder& other);
+
+  size_t num_windows() const { return windows_.size(); }
+  const SeriesWindow& window(size_t i) const { return windows_[i]; }
+
+  // JSONL: first a meta line {"type":"meta","meta":{...}}, then one
+  // {"type":"window",...} line per window with counter deltas, gauge values
+  // and per-window hdr quantiles (p50/p90/p99/p999 over the delta counts).
+  void WriteJsonl(std::ostream& out, const RunMetadata& meta) const;
+  // File variant; non-OK Status names the path on open/write failure.
+  util::Status WriteJsonl(const std::string& path, const RunMetadata& meta) const;
+
+ private:
+  const MetricsRegistry* registry_ = nullptr;
+  std::vector<SeriesWindow> windows_;
+
+  // Baselines from the previous EndWindow, keyed by instrument name.
+  std::map<std::string, uint64_t, std::less<>> counter_base_;
+  struct HdrBase {
+    uint64_t underflow = 0;
+    uint64_t overflow = 0;
+    std::vector<uint64_t> counts;
+  };
+  std::map<std::string, HdrBase, std::less<>> hdr_base_;
+};
+
+}  // namespace vcdn::obs
+
+#endif  // VCDN_SRC_OBS_TIME_SERIES_H_

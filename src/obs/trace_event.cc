@@ -2,6 +2,8 @@
 
 #include "src/obs/trace_event.h"
 
+#include <fstream>
+
 #include "src/obs/json_util.h"
 
 namespace vcdn::obs {
@@ -132,20 +134,41 @@ void TraceEventSink::WriteTraceJson(std::ostream& out) const {
   out << ",\"displayTimeUnit\":\"ms\"}";
 }
 
-void WriteObsJson(std::ostream& out, const MetricsRegistry* registry, const TraceEventSink* sink) {
+void WriteObsJson(std::ostream& out, const MetricsRegistry* registry, const TraceEventSink* sink,
+                  const RunMetadata* meta) {
   out << "{\"traceEvents\":";
   if (sink != nullptr) {
     sink->WriteTraceEventsArray(out);
   } else {
     out << "[]";
   }
-  out << ",\"displayTimeUnit\":\"ms\",\"metrics\":";
+  out << ",\"displayTimeUnit\":\"ms\",\"meta\":";
+  if (meta != nullptr) {
+    WriteRunMetadataJson(out, *meta);
+  } else {
+    WriteRunMetadataJson(out, CollectRunMetadata());
+  }
+  out << ",\"metrics\":";
   if (registry != nullptr) {
     registry->WriteJson(out);
   } else {
-    out << "{\"counters\":{},\"gauges\":{},\"histograms\":{}}";
+    out << "{\"counters\":{},\"gauges\":{},\"histograms\":{},\"hdr_histograms\":{}}";
   }
   out << "}\n";
+}
+
+util::Status WriteObsJsonFile(const std::string& path, const MetricsRegistry* registry,
+                              const TraceEventSink* sink, const RunMetadata* meta) {
+  std::ofstream out(path);
+  if (!out) {
+    return util::InvalidArgumentError("cannot open obs json path: " + path);
+  }
+  WriteObsJson(out, registry, sink, meta);
+  out.flush();
+  if (!out) {
+    return util::DataLossError("short write to obs json path: " + path);
+  }
+  return util::OkStatus();
 }
 
 }  // namespace vcdn::obs

@@ -38,6 +38,8 @@
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/obs/run_metadata.h"
+#include "src/util/status.h"
 
 namespace vcdn::obs {
 
@@ -140,9 +142,18 @@ class ScopedSpan {
 
 // Writes the combined observability dump used by the benches' --obs-json
 // flag: a valid Chrome trace object with the metrics registry embedded under
-// a "metrics" key (trace viewers ignore unknown top-level keys). Either
-// pointer may be null; the corresponding section is then empty.
-void WriteObsJson(std::ostream& out, const MetricsRegistry* registry, const TraceEventSink* sink);
+// a "metrics" key and the run metadata under "meta" (trace viewers ignore
+// unknown top-level keys). Either registry/sink pointer may be null; the
+// corresponding section is then empty. A null `meta` embeds the compiled-in
+// provenance with empty run-shape fields (CollectRunMetadata).
+void WriteObsJson(std::ostream& out, const MetricsRegistry* registry, const TraceEventSink* sink,
+                  const RunMetadata* meta = nullptr);
+
+// File variant. Returns a non-OK Status naming the path when the file cannot
+// be opened or the write fails -- a dropped obs dump must never look like a
+// successful run.
+util::Status WriteObsJsonFile(const std::string& path, const MetricsRegistry* registry,
+                              const TraceEventSink* sink, const RunMetadata* meta = nullptr);
 
 #define VCDN_OBS_SCOPE_CONCAT_(a, b) a##b
 #define VCDN_OBS_SCOPE_NAME_(line) VCDN_OBS_SCOPE_CONCAT_(vcdn_obs_scope_, line)

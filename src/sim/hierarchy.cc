@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <iterator>
 #include <optional>
+#include <string>
+#include <utility>
 
 #include "src/exec/strand.h"
 #include "src/util/stats.h"
@@ -39,11 +41,17 @@ struct EdgeCapture {
 // instruments, so edges can run concurrently and still merge exactly.
 void RunEdge(const trace::Trace& edge_trace, const HierarchyConfig& config, size_t edge_index,
              obs::MetricsRegistry* local_metrics, obs::TraceEventSink* local_sink,
-             ReplayResult& result_out, EdgeCapture& capture) {
+             obs::TimeSeriesRecorder* local_series, obs::FlightRecorder* local_flight,
+             std::vector<obs::FlightCapture>* local_captures, ReplayResult& result_out,
+             EdgeCapture& capture) {
   auto edge = core::MakeCache(config.edge_kind, config.edge_config);
   ReplayOptions options = config.replay;
   options.metrics = local_metrics;
   options.trace_sink = local_sink;
+  options.series = local_series;
+  options.flight = local_flight;
+  options.flight_captures = local_captures;
+  options.flight_label = "edge" + std::to_string(edge_index);
   options.faults = config.faults;
   options.fault_target = edge_index;
   const double steady_start = edge_trace.duration * options.measurement_start_fraction;
@@ -86,12 +94,24 @@ HierarchyResult RunHierarchy(const std::vector<trace::Trace>& edge_traces,
   // count; see docs/PARALLELISM.md).
   std::vector<std::optional<obs::MetricsRegistry>> edge_metrics(num_edges);
   std::vector<std::optional<obs::TraceEventSink>> edge_sinks(num_edges);
+  std::vector<std::optional<obs::TimeSeriesRecorder>> edge_series(num_edges);
+  std::vector<std::optional<obs::FlightRecorder>> edge_flights(num_edges);
+  std::vector<std::vector<obs::FlightCapture>> edge_captures(num_edges);
+  if (config.replay.series != nullptr) {
+    VCDN_CHECK(config.replay.metrics != nullptr);
+  }
   for (size_t i = 0; i < num_edges; ++i) {
     if (config.replay.metrics != nullptr) {
       edge_metrics[i].emplace();
+      if (config.replay.series != nullptr) {
+        edge_series[i].emplace(&*edge_metrics[i]);
+      }
     }
     if (config.replay.trace_sink != nullptr) {
       edge_sinks[i].emplace();
+    }
+    if (config.replay.flight != nullptr) {
+      edge_flights[i].emplace(config.replay.flight->capacity());
     }
   }
   auto edge_metrics_ptr = [&](size_t i) {
@@ -99,6 +119,15 @@ HierarchyResult RunHierarchy(const std::vector<trace::Trace>& edge_traces,
   };
   auto edge_sink_ptr = [&](size_t i) {
     return edge_sinks[i].has_value() ? &*edge_sinks[i] : nullptr;
+  };
+  auto edge_series_ptr = [&](size_t i) {
+    return edge_series[i].has_value() ? &*edge_series[i] : nullptr;
+  };
+  auto edge_flight_ptr = [&](size_t i) {
+    return edge_flights[i].has_value() ? &*edge_flights[i] : nullptr;
+  };
+  auto edge_captures_ptr = [&](size_t i) {
+    return edge_flights[i].has_value() ? &edge_captures[i] : nullptr;
   };
 
   exec::ThreadPool* pool = config.pool;
@@ -121,7 +150,8 @@ HierarchyResult RunHierarchy(const std::vector<trace::Trace>& edge_traces,
   }
   if (pool == nullptr) {
     for (size_t i = 0; i < num_edges; ++i) {
-      RunEdge(edge_traces[i], config, i, edge_metrics_ptr(i), edge_sink_ptr(i), result.edges[i],
+      RunEdge(edge_traces[i], config, i, edge_metrics_ptr(i), edge_sink_ptr(i),
+              edge_series_ptr(i), edge_flight_ptr(i), edge_captures_ptr(i), result.edges[i],
               captures[i]);
     }
   } else {
@@ -130,6 +160,7 @@ HierarchyResult RunHierarchy(const std::vector<trace::Trace>& edge_traces,
       pool->Submit(
           [&, i] {
             RunEdge(edge_traces[i], config, i, edge_metrics_ptr(i), edge_sink_ptr(i),
+                    edge_series_ptr(i), edge_flight_ptr(i), edge_captures_ptr(i),
                     result.edges[i], captures[i]);
             done.CountDown();
           },
@@ -161,8 +192,21 @@ HierarchyResult RunHierarchy(const std::vector<trace::Trace>& edge_traces,
     if (edge_metrics[i].has_value()) {
       config.replay.metrics->MergeFrom(*edge_metrics[i]);
     }
+    if (edge_series[i].has_value()) {
+      config.replay.series->MergeFrom(*edge_series[i]);
+    }
     if (edge_sinks[i].has_value()) {
       config.replay.trace_sink->Append(*edge_sinks[i], obs::kFleetTidBase + static_cast<int>(i));
+    }
+    if (edge_flights[i].has_value()) {
+      for (const obs::DecisionRecord& record : edge_flights[i]->Snapshot()) {
+        config.replay.flight->Record(record);
+      }
+      if (config.replay.flight_captures != nullptr) {
+        for (obs::FlightCapture& capture : edge_captures[i]) {
+          config.replay.flight_captures->push_back(std::move(capture));
+        }
+      }
     }
   }
 
@@ -196,6 +240,15 @@ HierarchyResult RunHierarchy(const std::vector<trace::Trace>& edge_traces,
   auto run_parent = [&] {
     auto parent = core::MakeCache(config.parent_kind, config.parent_config);
     ReplayOptions options = config.replay;  // shared obs: parent runs alone
+    // The series stays edge-tier-only: the caller's recorder baselines the
+    // shared registry, which at this point already holds the merged edge
+    // counts -- snapshotting it from the parent replay would fold the whole
+    // edge tier into the parent's first window.
+    options.series = nullptr;
+    // The shared flight ring is safe here (the parent runs alone, after the
+    // edge rings merged), so parent decisions land at the tail -- exactly
+    // where a sequential two-tier replay would put them.
+    options.flight_label = "parent";
     if (config.faults != nullptr) {
       options.faults = config.faults;
       options.fault_target = fault::kParentTarget;

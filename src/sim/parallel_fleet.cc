@@ -5,6 +5,8 @@
 #include <bit>
 #include <chrono>
 #include <optional>
+#include <string>
+#include <utility>
 
 namespace vcdn::sim {
 
@@ -15,13 +17,24 @@ namespace {
 struct ShardObs {
   std::optional<obs::MetricsRegistry> metrics;
   std::optional<obs::TraceEventSink> sink;
+  std::optional<obs::TimeSeriesRecorder> series;
+  std::optional<obs::FlightRecorder> flight;
+  // Deferred fault-boundary dumps, appended to the caller's vector (in
+  // server order) after the join -- shards never touch a shared file.
+  std::vector<obs::FlightCapture> captures;
 };
 
-ReplayOptions ShardReplayOptions(const ReplayOptions& base, ShardObs& obs, size_t shard_index) {
+ReplayOptions ShardReplayOptions(const ReplayOptions& base, const FleetServer& server,
+                                 ShardObs& obs, size_t shard_index) {
   ReplayOptions options = base;
   options.observer = nullptr;
   options.metrics = obs.metrics.has_value() ? &*obs.metrics : nullptr;
   options.trace_sink = obs.sink.has_value() ? &*obs.sink : nullptr;
+  options.series = obs.series.has_value() ? &*obs.series : nullptr;
+  options.flight = obs.flight.has_value() ? &*obs.flight : nullptr;
+  options.flight_captures = obs.flight.has_value() ? &obs.captures : nullptr;
+  options.flight_label =
+      server.name.empty() ? "server" + std::to_string(shard_index) : server.name;
   // Shard i is fault target i: a shared FaultSchedule applies each server's
   // own outage/degrade windows, and stays deterministic because the schedule
   // is read-only and each driver is replay-local.
@@ -32,7 +45,7 @@ ReplayOptions ShardReplayOptions(const ReplayOptions& base, ShardObs& obs, size_
 void RunShard(const FleetServer& server, const ReplayOptions& base, ShardObs& obs,
               size_t shard_index, ReplayResult& out) {
   auto cache = core::MakeCache(server.kind, server.config);
-  out = Replay(*cache, *server.trace, ShardReplayOptions(base, obs, shard_index));
+  out = Replay(*cache, *server.trace, ShardReplayOptions(base, server, obs, shard_index));
 }
 
 }  // namespace
@@ -47,8 +60,12 @@ FleetResult RunFleet(const std::vector<FleetServer>& servers, const FleetOptions
   VCDN_CHECK(options.replay.observer == nullptr);
   VCDN_CHECK(options.replay.on_outcome == nullptr);
 
-  const bool obs_enabled =
-      options.replay.metrics != nullptr || options.replay.trace_sink != nullptr;
+  if (options.replay.series != nullptr) {
+    VCDN_CHECK(options.replay.metrics != nullptr);
+  }
+  const bool obs_enabled = options.replay.metrics != nullptr ||
+                           options.replay.trace_sink != nullptr ||
+                           options.replay.flight != nullptr;
 
   FleetResult result;
   result.servers.resize(servers.size());
@@ -57,9 +74,15 @@ FleetResult RunFleet(const std::vector<FleetServer>& servers, const FleetOptions
     for (ShardObs& obs : shard_obs) {
       if (options.replay.metrics != nullptr) {
         obs.metrics.emplace();
+        if (options.replay.series != nullptr) {
+          obs.series.emplace(&*obs.metrics);
+        }
       }
       if (options.replay.trace_sink != nullptr) {
         obs.sink.emplace();
+      }
+      if (options.replay.flight != nullptr) {
+        obs.flight.emplace(options.replay.flight->capacity());
       }
     }
   }
@@ -117,9 +140,26 @@ FleetResult RunFleet(const std::vector<FleetServer>& servers, const FleetOptions
     if (shard_obs[i].metrics.has_value()) {
       options.replay.metrics->MergeFrom(*shard_obs[i].metrics);
     }
+    if (shard_obs[i].series.has_value()) {
+      options.replay.series->MergeFrom(*shard_obs[i].series);
+    }
     if (shard_obs[i].sink.has_value()) {
       options.replay.trace_sink->Append(*shard_obs[i].sink,
                                         obs::kFleetTidBase + static_cast<int>(i));
+    }
+    if (shard_obs[i].flight.has_value()) {
+      // Re-record shard rings into the caller's ring in server order: the
+      // merged ring holds the tail of the concatenated per-shard streams,
+      // identically at every thread count (the shape RunFleet(threads=1)
+      // produces too).
+      for (const obs::DecisionRecord& record : shard_obs[i].flight->Snapshot()) {
+        options.replay.flight->Record(record);
+      }
+      for (obs::FlightCapture& capture : shard_obs[i].captures) {
+        if (options.replay.flight_captures != nullptr) {
+          options.replay.flight_captures->push_back(std::move(capture));
+        }
+      }
     }
   }
   return result;

@@ -2,9 +2,12 @@
 
 #include "src/sim/replay.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <optional>
+#include <utility>
 
 namespace vcdn::sim {
 
@@ -47,7 +50,12 @@ ReplayResult Replay(core::CacheAlgorithm& cache, const trace::Trace& trace,
     throughput_gauge = options.metrics->GetGauge("sim.replay.requests_per_sec");
   }
   const bool observing = options.observer != nullptr || options.trace_sink != nullptr ||
-                         options.metrics != nullptr;
+                         options.metrics != nullptr || options.series != nullptr;
+  if (options.series != nullptr) {
+    // The recorder snapshots the registry at window edges; without one there
+    // is nothing to snapshot and the series would be silently empty.
+    VCDN_CHECK(options.metrics != nullptr);
+  }
 
   std::optional<fault::FaultDriver> fault_driver;
   if (options.faults != nullptr && !options.faults->empty()) {
@@ -58,8 +66,11 @@ ReplayResult Replay(core::CacheAlgorithm& cache, const trace::Trace& trace,
   const SteadyClock::time_point loop_start = SteadyClock::now();
   uint64_t processed = 0;
   int64_t current_bucket = -1;
+  // Rendered lazily on the first fault-boundary capture, then reused.
+  std::string fault_schedule_json;
 
-  // Per-bucket flush: gauges, registry snapshot, observer callback.
+  // Per-bucket flush: gauges, registry snapshot, series window, observer
+  // callback.
   auto flush = [&](double sim_time) {
     double wall = SecondsSince(loop_start);
     buckets_counter.Increment();
@@ -67,6 +78,12 @@ ReplayResult Replay(core::CacheAlgorithm& cache, const trace::Trace& trace,
     throughput_gauge.Set(wall > 0.0 ? static_cast<double>(processed) / wall : 0.0);
     if (options.trace_sink != nullptr && options.metrics != nullptr) {
       options.trace_sink->SnapshotRegistry(*options.metrics);
+    }
+    if (options.series != nullptr) {
+      // Window edges are the bucket edges (not request times), so every
+      // shard of a fleet keys the same windows and MergeFrom aligns exactly.
+      const double start = static_cast<double>(current_bucket) * options.bucket_seconds;
+      options.series->EndWindow(start, start + options.bucket_seconds);
     }
     if (options.observer != nullptr) {
       ReplayProgress progress;
@@ -90,15 +107,41 @@ ReplayResult Replay(core::CacheAlgorithm& cache, const trace::Trace& trace,
   core::RequestBatch batch;
   batch.outcomes.resize(batch_size);
 
+  // Flight-recorder state: the per-request fault byte (0 normal, 1 degraded,
+  // 2 outage) is constant within a batch because batches are cut at every
+  // fault boundary and outage window.
+  auto record_flight = [&](const trace::Request& request, const core::RequestOutcome& outcome,
+                           uint8_t fault_state) {
+    obs::DecisionRecord record;
+    record.time = request.arrival_time;
+    record.key = request.video;
+    record.requested_bytes = static_cast<uint32_t>(
+        std::min<uint64_t>(outcome.requested_bytes, std::numeric_limits<uint32_t>::max()));
+    record.filled_chunks = static_cast<uint16_t>(
+        std::min<uint32_t>(outcome.filled_chunks, std::numeric_limits<uint16_t>::max()));
+    record.evicted_chunks = static_cast<uint16_t>(
+        std::min<uint32_t>(outcome.evicted_chunks, std::numeric_limits<uint16_t>::max()));
+    record.hit_chunks = static_cast<uint16_t>(
+        std::min<uint32_t>(outcome.hit_chunks, std::numeric_limits<uint16_t>::max()));
+    record.decision = static_cast<uint8_t>(outcome.decision);
+    record.fault_state = fault_state;
+    options.flight->Record(record);
+  };
+
   auto drain = [&] {
     if (batch.count == 0) {
       return;
     }
     cache.HandleRequestBatch(batch);
+    const uint8_t fault_state =
+        fault_driver.has_value() && fault_driver->Degraded() ? uint8_t{1} : uint8_t{0};
     for (size_t i = 0; i < batch.count; ++i) {
       const trace::Request& request = batch.requests[i];
       const core::RequestOutcome& outcome = batch.outcomes[i];
       collector.Record(request.arrival_time, outcome);
+      if (options.flight != nullptr) {
+        record_flight(request, outcome, fault_state);
+      }
       if (options.on_outcome) {
         options.on_outcome(request, outcome);
       }
@@ -128,6 +171,20 @@ ReplayResult Replay(core::CacheAlgorithm& cache, const trace::Trace& trace,
           // requests precede it in simulated time, so they go first.
           drain();
           fault_driver->Advance(request.arrival_time);
+          if (options.flight != nullptr && options.flight_captures != nullptr) {
+            // Deferred dump of the decisions leading up to the boundary;
+            // rendered to disk by the caller after any shards join.
+            if (fault_schedule_json.empty()) {
+              fault_schedule_json = fault::FaultScheduleToJson(*options.faults);
+            }
+            obs::PostMortemContext context;
+            context.trigger = "fault_boundary";
+            context.label = options.flight_label;
+            context.sim_time = request.arrival_time;
+            context.fault_schedule_json = fault_schedule_json;
+            options.flight_captures->push_back(
+                obs::CaptureFlight(*options.flight, std::move(context)));
+          }
         }
         unavailable = fault_driver->InOutage(request.arrival_time);
       }
@@ -142,6 +199,9 @@ ReplayResult Replay(core::CacheAlgorithm& cache, const trace::Trace& trace,
             core::ToChunkRange(request, cache.config().chunk_bytes).count();
         fault_driver->RecordUnavailable(outcome);
         collector.Record(request.arrival_time, outcome);
+        if (options.flight != nullptr) {
+          record_flight(request, outcome, /*fault_state=*/2);
+        }
         if (options.on_outcome) {
           options.on_outcome(request, outcome);
         }

@@ -17,7 +17,9 @@
 
 #include "src/core/cache_algorithm.h"
 #include "src/fault/fault.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/time_series.h"
 #include "src/obs/trace_event.h"
 #include "src/sim/metrics.h"
 #include "src/trace/request.h"
@@ -74,6 +76,22 @@ struct ReplayOptions {
   obs::TraceEventSink* trace_sink = nullptr;
   // Per-bucket progress callbacks.
   ReplayObserver* observer = nullptr;
+  // Windowed time-series over `metrics`: EndWindow is called at every bucket
+  // flush (window edges are the bucket edges, so per-shard recorders align
+  // and merge exactly -- see src/obs/time_series.h). Requires `metrics`; the
+  // recorder must be constructed over the same registry.
+  obs::TimeSeriesRecorder* series = nullptr;
+  // Per-request decision ring (see src/obs/flight_recorder.h). Recording is
+  // alloc-free; steady-state allocation stays zero with this enabled.
+  obs::FlightRecorder* flight = nullptr;
+  // With `flight` set: a deferred post-mortem capture of the ring is
+  // appended here at every fault boundary (the moments worth dissecting).
+  // Captures allocate, but boundaries are rare and never steady-state.
+  // Written out by the caller after any parallel shards join, so shards
+  // never race on one output file.
+  std::vector<obs::FlightCapture>* flight_captures = nullptr;
+  // Label stamped into capture contexts ("server3", "edge0", ...).
+  std::string flight_label;
   // Per-request callback, invoked after the cache handled the request and
   // the collector recorded the outcome. This is how the hierarchy captures
   // redirects for the parent tier without owning the replay loop. Costs one

@@ -1,0 +1,37 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/util/check.h"
+
+#include <atomic>
+
+namespace vcdn::util {
+
+namespace {
+
+std::atomic<CheckFailureHook> g_check_failure_hook{nullptr};
+std::atomic<bool> g_check_failure_hook_ran{false};
+
+}  // namespace
+
+void SetCheckFailureHook(CheckFailureHook hook) {
+  g_check_failure_hook.store(hook, std::memory_order_release);
+  g_check_failure_hook_ran.store(false, std::memory_order_release);
+}
+
+namespace internal {
+
+void RunCheckFailureHook() {
+  CheckFailureHook hook = g_check_failure_hook.load(std::memory_order_acquire);
+  if (hook == nullptr) {
+    return;
+  }
+  // First failing thread wins; a re-entrant failure inside the hook (or a
+  // concurrent failure on another thread) falls straight through to abort.
+  if (g_check_failure_hook_ran.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  hook();
+}
+
+}  // namespace internal
+}  // namespace vcdn::util

@@ -12,15 +12,34 @@
 #include <cstdio>
 #include <cstdlib>
 
-namespace vcdn::util::internal {
+namespace vcdn::util {
+
+// Last-gasp hook invoked (once, re-entrancy-guarded) after a VCDN_CHECK
+// failure prints its diagnostic and before the process aborts. This is how
+// obs::FlightRecorder dumps its post-mortem ring on a contract violation
+// (see docs/OBSERVABILITY.md); the hook must be async-signal-unsafe-tolerant
+// only in the sense that the process is already doomed -- it may allocate
+// and do file I/O, but must not assume any invariant the failed check
+// guarded. Pass nullptr to uninstall. Not thread-safe against concurrent
+// installs; install once at setup time.
+using CheckFailureHook = void (*)();
+void SetCheckFailureHook(CheckFailureHook hook);
+
+namespace internal {
+
+// Defined in check.cc: runs the installed hook (if any) exactly once across
+// all threads, so a hook that itself fails a check cannot recurse.
+void RunCheckFailureHook();
 
 [[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
   std::fprintf(stderr, "VCDN_CHECK failed at %s:%d: %s\n", file, line, expr);
   std::fflush(stderr);
+  RunCheckFailureHook();
   std::abort();
 }
 
-}  // namespace vcdn::util::internal
+}  // namespace internal
+}  // namespace vcdn::util
 
 #define VCDN_CHECK(expr)                                             \
   do {                                                               \

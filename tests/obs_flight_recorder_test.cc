@@ -1,0 +1,165 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// FlightRecorder: ring semantics (oldest-first snapshots, overwrite once
+// full, seq stamping), capture/dump determinism, and the crash-dump
+// arm/disarm lifecycle.
+
+#include "src/obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/run_metadata.h"
+
+namespace vcdn::obs {
+namespace {
+
+RunMetadata TestMeta() {
+  RunMetadata meta;
+  meta.git_describe = "test-deadbeef";
+  meta.build_type = "Test";
+  meta.compiler = "testc++ 1.0";
+  meta.workload = "unit test";
+  meta.seed = 7;
+  return meta;
+}
+
+DecisionRecord MakeRecord(double time, uint64_t key) {
+  DecisionRecord record;
+  record.time = time;
+  record.key = key;
+  record.requested_bytes = 1024;
+  record.hit_chunks = 1;
+  record.decision = 0;
+  return record;
+}
+
+TEST(FlightRecorderTest, SnapshotIsOldestFirstBeforeWrap) {
+  FlightRecorder recorder(4);
+  recorder.Record(MakeRecord(1.0, 100));
+  recorder.Record(MakeRecord(2.0, 200));
+  EXPECT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.total_recorded(), 2u);
+
+  std::vector<DecisionRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_DOUBLE_EQ(records[0].time, 1.0);
+  EXPECT_EQ(records[1].key, 200u);
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestOnceFull) {
+  FlightRecorder recorder(3);
+  for (int i = 0; i < 7; ++i) {
+    recorder.Record(MakeRecord(static_cast<double>(i), static_cast<uint64_t>(i)));
+  }
+  EXPECT_EQ(recorder.size(), 3u);
+  EXPECT_EQ(recorder.total_recorded(), 7u);
+
+  // Only the last three survive, oldest first, with seq = position in the
+  // total stream (so a dump shows how far into the run the window sits).
+  std::vector<DecisionRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].key, 4u);
+  EXPECT_EQ(records[1].key, 5u);
+  EXPECT_EQ(records[2].key, 6u);
+  EXPECT_EQ(records[0].seq, 4u);
+  EXPECT_EQ(records[2].seq, 6u);
+}
+
+TEST(FlightRecorderTest, ClearEmptiesTheRing) {
+  FlightRecorder recorder(4);
+  recorder.Record(MakeRecord(1.0, 1));
+  recorder.Clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+}
+
+TEST(FlightRecorderTest, CaptureFreezesRingAtTriggerTime) {
+  FlightRecorder recorder(4);
+  recorder.Record(MakeRecord(1.0, 1));
+  FlightCapture capture =
+      CaptureFlight(recorder, {"fault_boundary", "server0", 1.5, ""});
+  recorder.Record(MakeRecord(2.0, 2));  // after the trigger: not in the capture
+
+  EXPECT_EQ(capture.context.trigger, "fault_boundary");
+  EXPECT_EQ(capture.total_recorded, 1u);
+  ASSERT_EQ(capture.records.size(), 1u);
+  EXPECT_EQ(capture.records[0].key, 1u);
+}
+
+TEST(FlightRecorderTest, PostMortemJsonlIsByteStableAndSchemaShaped) {
+  FlightRecorder recorder(4);
+  recorder.Record(MakeRecord(1.0, 100));
+  recorder.Record(MakeRecord(2.0, 200));
+  FlightCapture capture =
+      CaptureFlight(recorder, {"digest_mismatch", "server2", 2.0, "[{\"kind\":\"outage\"}]"});
+
+  std::ostringstream first, second;
+  WritePostMortemJsonl(first, TestMeta(), capture);
+  WritePostMortemJsonl(second, TestMeta(), capture);
+  EXPECT_EQ(first.str(), second.str()) << "post-mortem must be byte-stable";
+
+  std::istringstream lines(first.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("\"type\":\"meta\""), std::string::npos);
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("digest_mismatch"), std::string::npos);
+  EXPECT_NE(line.find("server2"), std::string::npos);
+  // Fault schedule rides along so the dump is self-describing.
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("outage"), std::string::npos);
+  size_t record_lines = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_NE(line.find("\"type\":\"record\""), std::string::npos);
+    ++record_lines;
+  }
+  EXPECT_EQ(record_lines, 2u);
+}
+
+TEST(FlightRecorderTest, PostMortemFileErrorStatusNamesThePath) {
+  FlightRecorder recorder(2);
+  recorder.Record(MakeRecord(1.0, 1));
+  FlightCapture capture = CaptureFlight(recorder, {"check_failure", "main", 0.0, ""});
+  const std::string bad_path = "/nonexistent-dir-for-test/pm.jsonl";
+  util::Status status = WritePostMortemJsonl(bad_path, TestMeta(), capture);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(bad_path), std::string::npos)
+      << "error must name the path: " << status.message();
+}
+
+TEST(FlightRecorderTest, PostMortemFileRoundTrips) {
+  FlightRecorder recorder(2);
+  recorder.Record(MakeRecord(1.0, 1));
+  FlightCapture capture = CaptureFlight(recorder, {"run_end", "main", 0.0, ""});
+  const std::string path = ::testing::TempDir() + "/obs_flight_recorder_test.jsonl";
+  ASSERT_TRUE(WritePostMortemJsonl(path, TestMeta(), capture).ok());
+
+  std::ostringstream expected;
+  WritePostMortemJsonl(expected, TestMeta(), capture);
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, expected.str());
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, ArmAndDisarmAreSafeWithoutACheckFailure) {
+  FlightRecorder recorder(2);
+  recorder.Record(MakeRecord(1.0, 1));
+  // Arming registers the process-wide CHECK hook; disarming must restore a
+  // state where recorder destruction is safe. No CHECK fires in between.
+  ArmCrashDump(&recorder, ::testing::TempDir() + "/never_written.jsonl", TestMeta(),
+               {"check_failure", "main", 0.0, ""});
+  DisarmCrashDump(&recorder);
+  // Disarming a recorder that was never armed is a no-op, not an error.
+  FlightRecorder never_armed(2);
+  DisarmCrashDump(&never_armed);
+}
+
+}  // namespace
+}  // namespace vcdn::obs

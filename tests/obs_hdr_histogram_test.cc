@@ -1,0 +1,128 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// HdrHistogramCell: log-bucket layout, under/overflow clamping, quantile
+// monotonicity, and the merge contract the windowed time-series relies on
+// (merge-of-shards == single-stream, exactly, because counts are sums).
+
+#include "src/obs/hdr_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace vcdn::obs {
+namespace {
+
+TEST(HdrHistogramCellTest, LayoutCoversRangeInOctaves) {
+  // [1, 16) = 4 octaves of 4 sub-buckets.
+  HdrHistogramCell cell(1.0, 16.0, 4);
+  EXPECT_EQ(cell.num_buckets(), 16u);
+  EXPECT_DOUBLE_EQ(cell.bucket_lo(0), 1.0);
+  // First octave is linear in [1, 2): edges 1, 1.25, 1.5, 1.75.
+  EXPECT_DOUBLE_EQ(cell.bucket_lo(1), 1.25);
+  EXPECT_DOUBLE_EQ(cell.bucket_lo(4), 2.0);   // second octave starts at 2
+  EXPECT_DOUBLE_EQ(cell.bucket_lo(8), 4.0);   // third at 4
+  EXPECT_DOUBLE_EQ(cell.bucket_lo(16), 16.0);  // top edge
+}
+
+TEST(HdrHistogramCellTest, UnderAndOverflowClampToRangeEdges) {
+  HdrHistogramCell cell(10.0, 1000.0, 8);
+  cell.Add(0.5);     // below lo
+  cell.Add(-3.0);    // negative -- still underflow, never UB
+  cell.Add(1000.0);  // hi itself is out of [lo, hi)
+  cell.Add(1e12);
+  EXPECT_EQ(cell.underflow(), 2u);
+  EXPECT_EQ(cell.overflow(), 2u);
+  EXPECT_EQ(cell.total_count(), 4u);
+  // Clamped mass reads as the range edges, not as garbage.
+  EXPECT_DOUBLE_EQ(cell.Quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(cell.Quantile(1.0), 1000.0);
+}
+
+TEST(HdrHistogramCellTest, QuantileIsMonotoneOverRandomFill) {
+  HdrHistogramCell cell(1.0, 1e6, 16);
+  util::Pcg32 rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    // Log-uniform over ~7 decades, plus some mass outside the range.
+    double value = std::exp(rng.NextDouble() * 16.0 - 1.0);
+    cell.Add(value);
+  }
+  double previous = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    double value = cell.Quantile(q);
+    EXPECT_GE(value, previous) << "quantile not monotone at q=" << q;
+    previous = value;
+  }
+  EXPECT_GE(cell.Quantile(0.0), 1.0);
+  EXPECT_LE(cell.Quantile(1.0), 1e6);
+}
+
+TEST(HdrHistogramCellTest, RelativeErrorBoundedBySubBuckets) {
+  HdrHistogramCell cell(1.0, 1024.0, 32);
+  const double value = 300.0;
+  for (int i = 0; i < 100; ++i) {
+    cell.Add(value);
+  }
+  // All mass in one bucket: every quantile is that bucket's midpoint, within
+  // one sub-bucket's relative width of the true value.
+  const double p50 = cell.Quantile(0.5);
+  EXPECT_NEAR(p50, value, value / 32.0);
+}
+
+TEST(HdrHistogramCellTest, MergeOfShardsEqualsSingleStream) {
+  HdrHistogramCell single(1.0, 1e6, 16);
+  HdrHistogramCell shard_a(1.0, 1e6, 16);
+  HdrHistogramCell shard_b(1.0, 1e6, 16);
+  util::Pcg32 rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    double value = std::exp(rng.NextDouble() * 16.0 - 1.0);
+    single.Add(value);
+    (i % 2 == 0 ? shard_a : shard_b).Add(value);
+  }
+  shard_a.MergeFrom(shard_b);
+  ASSERT_EQ(shard_a.num_buckets(), single.num_buckets());
+  for (size_t i = 0; i < single.num_buckets(); ++i) {
+    EXPECT_EQ(shard_a.bucket_count(i), single.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(shard_a.underflow(), single.underflow());
+  EXPECT_EQ(shard_a.overflow(), single.overflow());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(shard_a.Quantile(q), single.Quantile(q));
+  }
+}
+
+TEST(HdrHistogramCellTest, QuantileFromCountsMatchesLiveQuantile) {
+  HdrHistogramCell cell(1.0, 4096.0, 8);
+  util::Pcg32 rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    cell.Add(std::exp(rng.NextDouble() * 10.0));
+  }
+  std::vector<uint64_t> counts(cell.num_buckets());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = cell.bucket_count(i);
+  }
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(cell.QuantileFromCounts(q, counts, cell.underflow(), cell.overflow()),
+                     cell.Quantile(q));
+  }
+}
+
+TEST(HdrHistogramCellTest, EmptyCellQuantileIsZero) {
+  HdrHistogramCell cell(1.0, 100.0, 4);
+  EXPECT_DOUBLE_EQ(cell.Quantile(0.5), 0.0);
+  EXPECT_EQ(cell.total_count(), 0u);
+}
+
+TEST(HdrHistogramHandleTest, DisabledHandleIsNoOp) {
+  HdrHistogram histogram;
+  EXPECT_FALSE(histogram.enabled());
+  histogram.Observe(1.0);
+  EXPECT_EQ(histogram.data(), nullptr);
+}
+
+}  // namespace
+}  // namespace vcdn::obs

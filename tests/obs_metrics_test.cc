@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -200,6 +203,77 @@ TEST(MetricsRegistryTest, MergeFromReproducesSequentialAggregation) {
   a.WriteJson(merged_json);
   sequential.WriteJson(sequential_json);
   EXPECT_EQ(merged_json.str(), sequential_json.str());
+}
+
+TEST(HistogramCellTest, MergeOfShardsEqualsSingleStream) {
+  // The cell-level half of the fleet determinism contract: counts are sums,
+  // so folding shard cells in any order reproduces the single-stream fill.
+  HistogramCell single(0.0, 10.0, 5);
+  HistogramCell shard_a(0.0, 10.0, 5);
+  HistogramCell shard_b(0.0, 10.0, 5);
+  for (int i = -2; i < 14; ++i) {
+    const double value = static_cast<double>(i);
+    single.Add(value);
+    (i % 2 == 0 ? shard_a : shard_b).Add(value);
+  }
+  shard_b.MergeFrom(shard_a);  // opposite order to the fill: still exact
+  EXPECT_EQ(shard_b.underflow(), single.underflow());
+  EXPECT_EQ(shard_b.overflow(), single.overflow());
+  ASSERT_EQ(shard_b.num_buckets(), single.num_buckets());
+  for (size_t i = 0; i < single.num_buckets(); ++i) {
+    EXPECT_EQ(shard_b.bucket_count(i), single.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(shard_b.total_count(), single.total_count());
+}
+
+TEST(MetricsRegistryTest, MergeFromFoldsHdrHistograms) {
+  MetricsRegistry a;
+  a.GetHdrHistogram("latency", 1.0, 1024.0, 4).Observe(2.0);
+  MetricsRegistry b;
+  b.GetHdrHistogram("latency", 1.0, 1024.0, 4).Observe(2.0);
+  b.GetHdrHistogram("latency", 1.0, 1024.0, 4).Observe(500.0);
+  b.GetHdrHistogram("only_b", 1.0, 1024.0, 4).Observe(1.0);
+
+  a.MergeFrom(b);
+  auto samples = a.HdrHistogramSamples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].name, "latency");
+  uint64_t total = samples[0].underflow + samples[0].overflow;
+  for (uint64_t count : samples[0].counts) {
+    total += count;
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(samples[1].name, "only_b");
+
+  const HdrHistogramCell* cell = a.FindHdrHistogram("latency");
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->total_count(), 3u);
+  EXPECT_EQ(a.FindHdrHistogram("nope"), nullptr);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonErrorStatusNamesThePath) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total").Increment(1);
+  const std::string bad_path = "/nonexistent-dir-for-test/metrics.json";
+  util::Status status = registry.SnapshotJson(bad_path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(bad_path), std::string::npos)
+      << "error must name the path: " << status.message();
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonWritesTheWriteJsonDocument) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total").Increment(1);
+  registry.GetHdrHistogram("latency", 1.0, 1024.0, 4).Observe(2.0);
+  const std::string path = ::testing::TempDir() + "/obs_metrics_snapshot_test.json";
+  ASSERT_TRUE(registry.SnapshotJson(path).ok());
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  std::ostringstream expected;
+  registry.WriteJson(expected);
+  expected << "\n";  // SnapshotJson terminates the document with a newline
+  EXPECT_EQ(contents, expected.str());
+  std::remove(path.c_str());
 }
 
 TEST(MetricsRegistryTest, WriteJsonIsDeterministic) {

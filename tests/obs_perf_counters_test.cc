@@ -1,0 +1,84 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// PerfCounterGroup: the contract is graceful either way -- when the kernel
+// grants perf_event_open the group produces a plausible sample, and when it
+// denies it (perf_event_paranoid, seccomp, containers, non-Linux) every
+// operation is a safe no-op and the sample reports invalid. The test asserts
+// whichever branch this machine lands on; neither branch may crash.
+
+#include "src/obs/perf_counters.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace vcdn::obs {
+namespace {
+
+// Enough work that an available counter group must observe instructions.
+uint64_t BusyWork() {
+  volatile uint64_t accumulator = 1;
+  for (uint64_t i = 0; i < 2'000'000; ++i) {
+    accumulator = accumulator * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  return accumulator;
+}
+
+TEST(PerfCounterGroupTest, SampleIsValidExactlyWhenAvailable) {
+  PerfCounterGroup group;
+  group.Start();
+  BusyWork();
+  group.Stop();
+  PerfSample sample = group.TakeSample();
+
+  if (group.available()) {
+    ASSERT_TRUE(sample.valid);
+    // 2M iterations of a multiply-add loop: well over a million instructions,
+    // and a nonzero cycle count giving a positive IPC.
+    EXPECT_GT(sample.instructions, 1'000'000u);
+    EXPECT_GT(sample.cycles, 0u);
+    EXPECT_GT(sample.ipc(), 0.0);
+    EXPECT_GT(sample.time_running_ns, 0u);
+  } else {
+    EXPECT_FALSE(sample.valid);
+    EXPECT_EQ(sample.cycles, 0u);
+    EXPECT_DOUBLE_EQ(sample.ipc(), 0.0);
+  }
+}
+
+TEST(PerfCounterGroupTest, StopResumeStitchesOneAccumulatedRegion) {
+  PerfCounterGroup group;
+  group.Start();
+  BusyWork();
+  group.Stop();
+  PerfSample after_first = group.TakeSample();
+
+  BusyWork();  // untimed: must not be counted
+
+  group.Resume();  // enable without reset
+  BusyWork();
+  group.Stop();
+  PerfSample after_second = group.TakeSample();
+
+  if (group.available()) {
+    ASSERT_TRUE(after_first.valid);
+    ASSERT_TRUE(after_second.valid);
+    // Resume accumulates on top of the first region rather than restarting.
+    EXPECT_GT(after_second.instructions, after_first.instructions);
+  }
+}
+
+TEST(PerfCounterGroupTest, UnusedGroupSamplesInvalidNotGarbage) {
+  PerfCounterGroup group;
+  PerfSample sample = group.TakeSample();
+  if (!group.available()) {
+    EXPECT_FALSE(sample.valid);
+  }
+  // Start/Stop/Resume on a fresh (possibly unavailable) group never crash.
+  group.Stop();
+  group.Resume();
+  group.Stop();
+}
+
+}  // namespace
+}  // namespace vcdn::obs

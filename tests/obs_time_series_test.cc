@@ -1,0 +1,214 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// TimeSeriesRecorder: per-window deltas, shard-merge determinism (the
+// parallel fleet's series must reproduce the sequential series exactly), and
+// the JSONL serialization contract including error Statuses that name the
+// path.
+
+#include "src/obs/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/run_metadata.h"
+
+namespace vcdn::obs {
+namespace {
+
+RunMetadata TestMeta() {
+  RunMetadata meta;
+  meta.git_describe = "test-deadbeef";
+  meta.build_type = "Test";
+  meta.compiler = "testc++ 1.0";
+  meta.workload = "unit test";
+  meta.seed = 42;
+  meta.threads = 1;
+  meta.batch = 16;
+  return meta;
+}
+
+std::string Serialize(const TimeSeriesRecorder& recorder) {
+  std::ostringstream out;
+  recorder.WriteJsonl(out, TestMeta());
+  return out.str();
+}
+
+TEST(TimeSeriesRecorderTest, EndWindowRecordsCounterDeltasNotTotals) {
+  MetricsRegistry registry;
+  Counter requests = registry.GetCounter("sim.replay.requests_total");
+  TimeSeriesRecorder recorder(&registry);
+
+  requests.Increment(5);
+  recorder.EndWindow(0.0, 60.0);
+  requests.Increment(3);
+  recorder.EndWindow(60.0, 120.0);
+  requests.Increment(0);
+  recorder.EndWindow(120.0, 180.0);
+
+  ASSERT_EQ(recorder.num_windows(), 3u);
+  ASSERT_EQ(recorder.window(0).counters.size(), 1u);
+  EXPECT_EQ(recorder.window(0).counters[0].first, "sim.replay.requests_total");
+  EXPECT_EQ(recorder.window(0).counters[0].second, 5u);
+  EXPECT_EQ(recorder.window(1).counters[0].second, 3u);
+  EXPECT_EQ(recorder.window(2).counters[0].second, 0u);
+  EXPECT_DOUBLE_EQ(recorder.window(1).start, 60.0);
+  EXPECT_DOUBLE_EQ(recorder.window(1).end, 120.0);
+}
+
+TEST(TimeSeriesRecorderTest, GaugesAreLastValueAndHdrDeltasAreWindowed) {
+  MetricsRegistry registry;
+  Gauge occupancy = registry.GetGauge("cache.Cafe.occupancy");
+  HdrHistogram latency = registry.GetHdrHistogram("sim.replay.latency", 1.0, 1024.0, 8);
+  TimeSeriesRecorder recorder(&registry);
+
+  occupancy.Set(0.25);
+  latency.Observe(2.0);
+  latency.Observe(2.0);
+  recorder.EndWindow(0.0, 60.0);
+
+  occupancy.Set(0.75);
+  latency.Observe(512.0);
+  recorder.EndWindow(60.0, 120.0);
+
+  ASSERT_EQ(recorder.num_windows(), 2u);
+  ASSERT_EQ(recorder.window(0).gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(recorder.window(0).gauges[0].second, 0.25);
+  EXPECT_DOUBLE_EQ(recorder.window(1).gauges[0].second, 0.75);
+
+  // Window 0 saw two observations, window 1 exactly one -- deltas, not the
+  // cumulative cell contents.
+  ASSERT_EQ(recorder.window(0).hdr.size(), 1u);
+  const auto& first = recorder.window(0).hdr[0].second;
+  const auto& second = recorder.window(1).hdr[0].second;
+  uint64_t first_total = first.underflow + first.overflow;
+  for (uint64_t count : first.counts) first_total += count;
+  uint64_t second_total = second.underflow + second.overflow;
+  for (uint64_t count : second.counts) second_total += count;
+  EXPECT_EQ(first_total, 2u);
+  EXPECT_EQ(second_total, 1u);
+  EXPECT_DOUBLE_EQ(first.lo, 1.0);
+  EXPECT_DOUBLE_EQ(first.hi, 1024.0);
+  EXPECT_EQ(first.sub_buckets, 8u);
+}
+
+// The determinism contract: two shard recorders merged in server order
+// serialize byte-identically to one sequential recorder that saw both
+// shards' updates in that order.
+TEST(TimeSeriesRecorderTest, MergeOfShardsEqualsSequentialSeries) {
+  MetricsRegistry seq_registry;
+  TimeSeriesRecorder sequential(&seq_registry);
+  MetricsRegistry registry_a, registry_b;
+  TimeSeriesRecorder shard_a(&registry_a), shard_b(&registry_b);
+
+  auto fill = [](MetricsRegistry& registry, uint64_t hits, double occupancy, double latency) {
+    registry.GetCounter("cache.hits_total").Increment(hits);
+    registry.GetGauge("cache.occupancy").Set(occupancy);
+    registry.GetHdrHistogram("latency", 1.0, 1e6, 8).Observe(latency);
+  };
+
+  // Window [0, 60): shard A then shard B (server order A, B).
+  fill(seq_registry, 10, 0.1, 5.0);
+  fill(seq_registry, 20, 0.2, 50.0);
+  fill(registry_a, 10, 0.1, 5.0);
+  fill(registry_b, 20, 0.2, 50.0);
+  sequential.EndWindow(0.0, 60.0);
+  shard_a.EndWindow(0.0, 60.0);
+  shard_b.EndWindow(0.0, 60.0);
+
+  // Window [60, 120).
+  fill(seq_registry, 7, 0.5, 500.0);
+  fill(seq_registry, 3, 0.9, 2.0);
+  fill(registry_a, 7, 0.5, 500.0);
+  fill(registry_b, 3, 0.9, 2.0);
+  sequential.EndWindow(60.0, 120.0);
+  shard_a.EndWindow(60.0, 120.0);
+  shard_b.EndWindow(60.0, 120.0);
+
+  TimeSeriesRecorder merged(&registry_a);
+  merged.MergeFrom(shard_a);
+  merged.MergeFrom(shard_b);
+
+  EXPECT_EQ(Serialize(merged), Serialize(sequential));
+}
+
+TEST(TimeSeriesRecorderTest, MergeKeepsWindowsOnlyOneSideRecorded) {
+  MetricsRegistry registry_a, registry_b;
+  TimeSeriesRecorder shard_a(&registry_a), shard_b(&registry_b);
+  registry_a.GetCounter("a_total").Increment(1);
+  shard_a.EndWindow(0.0, 60.0);
+  registry_b.GetCounter("b_total").Increment(2);
+  shard_b.EndWindow(0.0, 60.0);
+  shard_b.EndWindow(60.0, 120.0);  // a never saw this window
+
+  shard_a.MergeFrom(shard_b);
+  ASSERT_EQ(shard_a.num_windows(), 2u);
+  ASSERT_EQ(shard_a.window(0).counters.size(), 2u);
+  EXPECT_EQ(shard_a.window(0).counters[0].first, "a_total");
+  EXPECT_EQ(shard_a.window(0).counters[1].first, "b_total");
+  EXPECT_DOUBLE_EQ(shard_a.window(1).start, 60.0);
+}
+
+TEST(TimeSeriesRecorderTest, WriteJsonlIsByteStableAndSchemaShaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("hits_total").Increment(4);
+  registry.GetGauge("occupancy").Set(0.5);
+  registry.GetHdrHistogram("latency", 1.0, 1024.0, 4).Observe(10.0);
+  TimeSeriesRecorder recorder(&registry);
+  recorder.EndWindow(0.0, 3600.0);
+
+  const std::string first = Serialize(recorder);
+  EXPECT_EQ(first, Serialize(recorder)) << "serialization must be deterministic";
+
+  // First line is the meta header, subsequent lines are windows.
+  std::istringstream lines(first);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("\"type\":\"meta\""), std::string::npos);
+  EXPECT_NE(line.find("test-deadbeef"), std::string::npos);
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("\"type\":\"window\""), std::string::npos);
+  EXPECT_NE(line.find("hits_total"), std::string::npos);
+  EXPECT_NE(line.find("\"p50\""), std::string::npos);
+}
+
+TEST(TimeSeriesRecorderTest, FileWriteErrorStatusNamesThePath) {
+  MetricsRegistry registry;
+  TimeSeriesRecorder recorder(&registry);
+  recorder.EndWindow(0.0, 60.0);
+  const std::string bad_path = "/nonexistent-dir-for-test/series.jsonl";
+  util::Status status = recorder.WriteJsonl(bad_path, TestMeta());
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(bad_path), std::string::npos)
+      << "error must name the path: " << status.message();
+}
+
+TEST(TimeSeriesRecorderTest, FileWriteRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("hits_total").Increment(1);
+  TimeSeriesRecorder recorder(&registry);
+  recorder.EndWindow(0.0, 60.0);
+
+  const std::string path = ::testing::TempDir() + "/obs_time_series_test.jsonl";
+  ASSERT_TRUE(recorder.WriteJsonl(path, TestMeta()).ok());
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, Serialize(recorder));
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesRecorderTest, InertRecorderRecordsEmptyWindows) {
+  TimeSeriesRecorder recorder;
+  recorder.EndWindow(0.0, 60.0);
+  ASSERT_EQ(recorder.num_windows(), 1u);
+  EXPECT_TRUE(recorder.window(0).counters.empty());
+  EXPECT_TRUE(recorder.window(0).gauges.empty());
+  EXPECT_TRUE(recorder.window(0).hdr.empty());
+}
+
+}  // namespace
+}  // namespace vcdn::obs

@@ -19,6 +19,13 @@ MEDIAN-of-repeats headline written by bench_replay_throughput):
 Thresholded on the median headline rather than a single run so one noisy CI
 neighbor can't fail the build; the raw per-repeat arrays stay in the JSON
 for anyone chasing dispersion.
+
+Tolerant of schema growth by construction: fields are read by explicit path
+(dig), so new keys in either file -- "meta", the hardware-counter columns
+(perf_valid / ipc / llc_misses_per_request), future additions -- are simply
+ignored by the gate. When BOTH files carry valid hardware counters the IPC
+and LLC-miss columns are printed as informational context (never thresholded:
+counter availability varies across runners).
 """
 
 import argparse
@@ -81,6 +88,22 @@ def main():
             )
         else:
             print(line)
+
+        # Informational hardware-counter context, printed only when both runs
+        # measured them (perf_event_open is often unavailable on CI runners).
+        run_path = path[:-1]
+        base_run = dig(baseline, run_path) or {}
+        fresh_run = dig(fresh, run_path) or {}
+        if base_run.get("perf_valid") and fresh_run.get("perf_valid"):
+            print(
+                "  hw: IPC %.2f -> %.2f, LLC miss/req %.2f -> %.2f (informational)"
+                % (
+                    base_run.get("ipc", 0.0),
+                    fresh_run.get("ipc", 0.0),
+                    base_run.get("llc_misses_per_request", 0.0),
+                    fresh_run.get("llc_misses_per_request", 0.0),
+                )
+            )
 
     return 1 if failed else 0
 
