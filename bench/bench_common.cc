@@ -38,24 +38,61 @@ BenchScale ScaleFromEnv() {
   return scale;
 }
 
-BenchFlags FlagsFromArgs(int argc, char** argv) {
+BenchFlags FlagsFromArgs(int argc, char** argv,
+                         const std::vector<std::string>& extra_value_flags) {
+  // Every accepted flag takes exactly one value. The obs flags are consumed
+  // (and their values interpreted) by BenchObs; extras by the bench itself.
+  static const char* const kSharedValueFlags[] = {
+      "--threads", "--repeat", "--batch",
+      "--obs-json", "--obs-series", "--flight", "--post-mortem",
+  };
   BenchFlags flags;
-  for (int i = 1; i + 1 < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg != "--threads" && arg != "--repeat" && arg != "--batch") {
-      continue;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    bool known = false;
+    for (const char* shared : kSharedValueFlags) {
+      if (arg == shared) {
+        known = true;
+        break;
+      }
     }
-    uint64_t parsed = 0;
-    if (!util::ParseUint64(argv[i + 1], &parsed)) {
-      std::fprintf(stderr, "warning: ignoring invalid %s %s\n", arg.c_str(), argv[i + 1]);
-      continue;
+    if (!known) {
+      for (const std::string& extra : extra_value_flags) {
+        if (arg == extra) {
+          known = true;
+          break;
+        }
+      }
     }
-    if (arg == "--threads") {
-      flags.threads = static_cast<size_t>(parsed);
-    } else if (arg == "--repeat") {
-      flags.repeat = std::max<size_t>(1, static_cast<size_t>(parsed));
-    } else {
-      flags.batch = std::max<size_t>(1, static_cast<size_t>(parsed));
+    if (!known) {
+      if (arg.rfind("--", 0) == 0) {
+        std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      } else {
+        std::fprintf(stderr, "error: unexpected positional argument '%s'\n", arg.c_str());
+      }
+      std::exit(2);
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: flag '%s' is missing its value\n", arg.c_str());
+      std::exit(2);
+    }
+    const char* value = argv[++i];
+    // The three counts owned here (and --flight's capacity, owned by
+    // BenchObs) must be valid unsigned integers; a typo must not silently
+    // fall back to a default.
+    if (arg == "--threads" || arg == "--repeat" || arg == "--batch" || arg == "--flight") {
+      uint64_t parsed = 0;
+      if (!util::ParseUint64(value, &parsed)) {
+        std::fprintf(stderr, "error: invalid value '%s' for flag '%s'\n", value, arg.c_str());
+        std::exit(2);
+      }
+      if (arg == "--threads") {
+        flags.threads = static_cast<size_t>(parsed);
+      } else if (arg == "--repeat") {
+        flags.repeat = std::max<size_t>(1, static_cast<size_t>(parsed));
+      } else if (arg == "--batch") {
+        flags.batch = std::max<size_t>(1, static_cast<size_t>(parsed));
+      }
     }
   }
   return flags;

@@ -71,13 +71,21 @@ BenchScale ScaleFromEnv();
 //                 only changes how much memory-level parallelism the cache
 //                 can extract.
 //
-// Unknown flags are ignored (each bench may define more).
+// Parsing fails FAST: an unknown "--" flag, a flag with a missing value, an
+// unparsable count, or a stray positional argument prints an error naming
+// the offender to stderr and exits with status 2. A typoed "--thread 8"
+// silently running the default configuration is how wrong bench numbers get
+// committed. Benches with their own value-taking flags (e.g. --out,
+// --max-threads) declare them via `extra_value_flags`; their values are
+// validated for presence here and parsed by the bench. The BenchObs flags
+// (--obs-json, --obs-series, --flight, --post-mortem) are always accepted.
 struct BenchFlags {
   size_t threads = 0;
   size_t repeat = 1;
   size_t batch = 16;
 };
-BenchFlags FlagsFromArgs(int argc, char** argv);
+BenchFlags FlagsFromArgs(int argc, char** argv,
+                         const std::vector<std::string>& extra_value_flags = {});
 
 // Optional observability sinks shared by the experiment binaries:
 //

@@ -222,7 +222,7 @@ void WriteRunJson(std::ofstream& out, const char* indent, const SingleThreadRun&
 int main(int argc, char** argv) {
   using namespace vcdn;
   bench::BenchScale scale = bench::ScaleFromEnv();
-  bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
+  bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv, {"--out"});
   bench::BenchObs obs(argc, argv);
   obs.SetWorkload("fig7 six servers", scale.seed);
   std::string out_path = "BENCH_hotpath.json";

@@ -1,0 +1,191 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/net/load_gen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/net/protocol.h"
+#include "src/net/socket.h"
+#include "src/net/wire_buffer.h"
+#include "src/sim/decision_digest.h"
+#include "src/util/check.h"
+
+namespace vcdn::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct WorkerResult {
+  util::Status status = util::OkStatus();
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  sim::OutcomeDigest digest;
+};
+
+// One closed-loop connection replaying requests [begin, end) of the trace.
+// Blocking socket: with at most `depth` responses outstanding (44 bytes
+// each) a 52-byte request write can never deadlock against a full receive
+// buffer.
+void RunWorker(const trace::Trace& trace, size_t begin, size_t end, const LoadGenOptions& options,
+               obs::HdrHistogramCell* latency_cell, obs::HdrHistogram latency_handle,
+               WorkerResult* result) {
+  util::Result<Socket> connected = ConnectTcp(options.host, options.port);
+  if (!connected.ok()) {
+    result->status = connected.status();
+    return;
+  }
+  Socket sock = std::move(connected).value();
+
+  const size_t depth = std::max<size_t>(1, options.pipeline_depth);
+  WireBuffer out(depth * kRequestFrameBytes);
+  WireBuffer in(depth * kResponseFrameBytes);
+  // Send timestamp per local request index; responses carry the global
+  // request id so latency matching survives any reordering across shards.
+  std::vector<Clock::time_point> send_times(end - begin);
+
+  size_t next = begin;
+  size_t inflight = 0;
+  DecodedFrame frame;
+  while (next < end || inflight > 0) {
+    // Fill the pipeline.
+    if (next < end && inflight < depth) {
+      out.Clear();
+      const Clock::time_point now = Clock::now();
+      while (next < end && inflight < depth) {
+        const trace::Request& req = trace.requests[next];
+        RequestFrame wire;
+        wire.request_id = next;
+        wire.video = req.video;
+        wire.byte_begin = req.byte_begin;
+        wire.byte_end = req.byte_end;
+        wire.arrival_time = req.arrival_time;
+        AppendRequest(out, wire);
+        send_times[next - begin] = now;
+        ++next;
+        ++inflight;
+        ++result->sent;
+      }
+      util::Status written = sock.WriteFull(out.ReadPtr(), out.ReadableBytes());
+      if (!written.ok()) {
+        result->status = std::move(written);
+        return;
+      }
+      out.Clear();
+    }
+    // Blocking read: decode every complete response that arrived.
+    in.EnsureWritable(kResponseFrameBytes * depth);
+    const ssize_t n = sock.ReadSome(in.WritePtr(), in.WritableBytes());
+    if (n <= 0) {
+      result->status = util::DataLossError(
+          "connection lost with " + std::to_string(inflight) + " responses outstanding");
+      return;
+    }
+    in.CommitWrite(static_cast<size_t>(n));
+    const Clock::time_point now = Clock::now();
+    for (;;) {
+      util::Result<size_t> decoded = DecodeFrame(in, &frame);
+      if (!decoded.ok()) {
+        result->status = decoded.status();
+        return;
+      }
+      if (decoded.value() == 0) {
+        break;
+      }
+      if (frame.type != FrameType::kResponse) {
+        result->status = util::DataLossError("server sent a request frame");
+        return;
+      }
+      const ResponseFrame& resp = frame.response;
+      if (resp.request_id < begin || resp.request_id >= static_cast<uint64_t>(end)) {
+        result->status = util::DataLossError("response for unknown request id " +
+                                             std::to_string(resp.request_id));
+        return;
+      }
+      const double latency =
+          std::chrono::duration<double>(now - send_times[resp.request_id - begin]).count();
+      latency_cell->Add(latency);
+      latency_handle.Observe(latency);
+      result->digest.FoldFields(resp.decision, resp.tier, resp.requested_bytes, resp.hit_chunks,
+                                resp.filled_chunks, resp.evicted_chunks);
+      ++result->received;
+      VCDN_CHECK(inflight > 0);
+      --inflight;
+    }
+  }
+}
+
+}  // namespace
+
+util::Result<LoadGenResult> RunClosedLoop(const trace::Trace& trace,
+                                          const LoadGenOptions& options) {
+  if (trace.requests.empty()) {
+    return util::InvalidArgumentError("load generator needs a non-empty trace");
+  }
+  if (options.connections == 0) {
+    return util::InvalidArgumentError("load generator needs at least one connection");
+  }
+  const size_t total = trace.requests.size();
+  const size_t connections = std::min(options.connections, total);
+
+  // 1us .. 10s covers loopback round trips through to a badly overloaded
+  // server; 16 sub-buckets per octave bounds relative error at ~6%.
+  obs::HdrHistogramCell latency_cell(1e-6, 10.0, 16);
+  obs::HdrHistogram latency_handle;
+  obs::Counter sent_counter;
+  obs::Counter received_counter;
+  if (options.metrics != nullptr) {
+    latency_handle =
+        options.metrics->GetHdrHistogram("net.client.latency_seconds", 1e-6, 10.0, 16);
+    sent_counter = options.metrics->GetCounter("net.client.requests_sent_total");
+    received_counter = options.metrics->GetCounter("net.client.responses_received_total");
+  }
+
+  std::vector<WorkerResult> results(connections);
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  const Clock::time_point start = Clock::now();
+  const size_t per_conn = total / connections;
+  const size_t remainder = total % connections;
+  size_t begin = 0;
+  for (size_t c = 0; c < connections; ++c) {
+    const size_t slice = per_conn + (c < remainder ? 1 : 0);
+    const size_t end = begin + slice;
+    workers.emplace_back([&trace, begin, end, &options, &latency_cell, latency_handle,
+                          result = &results[c]] {
+      RunWorker(trace, begin, end, options, &latency_cell, latency_handle, result);
+    });
+    begin = end;
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+
+  LoadGenResult out;
+  for (size_t c = 0; c < connections; ++c) {
+    if (!results[c].status.ok()) {
+      return results[c].status;
+    }
+    out.requests_sent += results[c].sent;
+    out.responses_received += results[c].received;
+  }
+  out.digest = results[0].digest.value();
+  out.digest_count = results[0].digest.count();
+  out.elapsed_seconds = elapsed;
+  out.requests_per_second = elapsed > 0.0 ? static_cast<double>(out.responses_received) / elapsed
+                                          : 0.0;
+  out.latency_p50 = latency_cell.Quantile(0.50);
+  out.latency_p90 = latency_cell.Quantile(0.90);
+  out.latency_p99 = latency_cell.Quantile(0.99);
+  out.latency_p999 = latency_cell.Quantile(0.999);
+  sent_counter.Increment(out.requests_sent);
+  received_counter.Increment(out.responses_received);
+  return out;
+}
+
+}  // namespace vcdn::net

@@ -1,0 +1,201 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace vcdn::net {
+
+namespace {
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Status Socket::SetNonBlocking(bool enabled) {
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) {
+    return util::InternalError(ErrnoMessage("fcntl(F_GETFL)"));
+  }
+  flags = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, flags) < 0) {
+    return util::InternalError(ErrnoMessage("fcntl(F_SETFL)"));
+  }
+  return util::OkStatus();
+}
+
+util::Status Socket::SetNoDelay(bool enabled) {
+  int value = enabled ? 1 : 0;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &value, sizeof(value)) < 0) {
+    return util::InternalError(ErrnoMessage("setsockopt(TCP_NODELAY)"));
+  }
+  return util::OkStatus();
+}
+
+ssize_t Socket::ReadSome(void* buf, size_t len) {
+  for (;;) {
+    ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n > 0) {
+      return n;
+    }
+    if (n == 0) {
+      return -1;  // orderly peer close
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return 0;
+    }
+    return -2;
+  }
+}
+
+ssize_t Socket::WriteSome(const void* buf, size_t len) {
+  for (;;) {
+    // MSG_NOSIGNAL: a peer that vanished mid-write must surface as EPIPE,
+    // not kill the daemon with SIGPIPE.
+    ssize_t n = ::send(fd_, buf, len, MSG_NOSIGNAL);
+    if (n >= 0) {
+      return n;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return 0;
+    }
+    return -2;
+  }
+}
+
+util::Status Socket::ReadFull(void* buf, size_t len) {
+  auto* p = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::recv(fd_, p + done, len - done, 0);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return util::DataLossError("connection closed mid-read (" + std::to_string(done) + "/" +
+                                 std::to_string(len) + " bytes)");
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return util::InternalError(ErrnoMessage("recv"));
+  }
+  return util::OkStatus();
+}
+
+util::Status Socket::WriteFull(const void* buf, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::send(fd_, p + done, len - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return util::InternalError(ErrnoMessage("send"));
+  }
+  return util::OkStatus();
+}
+
+util::Status Listener::Listen(const std::string& address, uint16_t port, int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) {
+    return util::InternalError(ErrnoMessage("socket"));
+  }
+  int one = 1;
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    return util::InternalError(ErrnoMessage("setsockopt(SO_REUSEADDR)"));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    return util::InvalidArgumentError("bad bind address: " + address);
+  }
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return util::InternalError(ErrnoMessage(("bind " + address + ":" + std::to_string(port)).c_str()));
+  }
+  if (::listen(sock.fd(), backlog) < 0) {
+    return util::InternalError(ErrnoMessage("listen"));
+  }
+  VCDN_RETURN_IF_ERROR(sock.SetNonBlocking(true));
+  // Read back the port for the ephemeral (port 0) case.
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    return util::InternalError(ErrnoMessage("getsockname"));
+  }
+  port_ = ntohs(bound.sin_port);
+  sock_ = std::move(sock);
+  return util::OkStatus();
+}
+
+util::Result<Socket> Listener::Accept() {
+  for (;;) {
+    int fd = ::accept4(sock_.fd(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) {
+      return Socket(fd);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Socket();  // nothing pending
+    }
+    return util::InternalError(ErrnoMessage("accept"));
+  }
+}
+
+util::Result<Socket> ConnectTcp(const std::string& host, uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) {
+    return util::InternalError(ErrnoMessage("socket"));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return util::InvalidArgumentError("bad host address: " + host);
+  }
+  for (;;) {
+    if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return util::InternalError(
+        ErrnoMessage(("connect " + host + ":" + std::to_string(port)).c_str()));
+  }
+  VCDN_RETURN_IF_ERROR(sock.SetNoDelay(true));
+  return sock;
+}
+
+}  // namespace vcdn::net

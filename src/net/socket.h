@@ -1,0 +1,92 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Thin RAII wrappers over POSIX TCP sockets: just enough surface for the
+// edge-server daemon (non-blocking accept/read/write under epoll) and the
+// closed-loop load generator (blocking connect/read/write). Status-returning
+// like the rest of the library; no exceptions, no ownership ambiguity (a
+// Socket is move-only and closes on destruction).
+
+#ifndef VCDN_SRC_NET_SOCKET_H_
+#define VCDN_SRC_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace vcdn::net {
+
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+  // Releases ownership without closing.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  util::Status SetNonBlocking(bool enabled);
+  util::Status SetNoDelay(bool enabled);
+
+  // Result conventions for the non-blocking daemon path:
+  //   > 0  bytes moved;  0  would-block (EAGAIN);  -1  peer closed (read)
+  // Hard errors come back as -2 with errno preserved for the caller's log.
+  ssize_t ReadSome(void* buf, size_t len);
+  ssize_t WriteSome(const void* buf, size_t len);
+
+  // Blocking helpers for the client side: move exactly `len` bytes or fail.
+  util::Status ReadFull(void* buf, size_t len);
+  util::Status WriteFull(const void* buf, size_t len);
+
+ private:
+  int fd_ = -1;
+};
+
+// Listening socket bound to 127.0.0.1 (or `address`) on `port`; port 0 binds
+// an ephemeral port, readable afterwards via port().
+class Listener {
+ public:
+  Listener() = default;
+
+  util::Status Listen(const std::string& address, uint16_t port, int backlog = 128);
+  // Non-blocking accept: a valid Socket, or an invalid one when no
+  // connection is pending (would-block). Hard errors return a Status.
+  util::Result<Socket> Accept();
+
+  int fd() const { return sock_.fd(); }
+  bool valid() const { return sock_.valid(); }
+  uint16_t port() const { return port_; }
+  void Close() { sock_.Close(); }
+
+ private:
+  Socket sock_;
+  uint16_t port_ = 0;
+};
+
+// Blocking connect to host:port (numeric IPv4 address, e.g. "127.0.0.1").
+util::Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+}  // namespace vcdn::net
+
+#endif  // VCDN_SRC_NET_SOCKET_H_

@@ -1,0 +1,96 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// WireBuffer: the per-connection byte buffer of the net subsystem -- one for
+// inbound frames being reassembled, one (well, two, see EdgeServer's
+// ping-pong) for outbound frames awaiting the socket.
+//
+// Hot-path contract (the "grow-once ChunkBuffer" discipline): capacity only
+// ever grows; Consume/Commit move offsets; Compact reuses the front of the
+// existing allocation. A connection that has reached its working set never
+// allocates again, which is what lets the soak test pin the serve path at
+// zero steady-state allocations (tests/net_soak_test.cc).
+
+#ifndef VCDN_SRC_NET_WIRE_BUFFER_H_
+#define VCDN_SRC_NET_WIRE_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace vcdn::net {
+
+class WireBuffer {
+ public:
+  explicit WireBuffer(size_t initial_capacity = 0) { data_.resize(initial_capacity); }
+
+  // --- read side (consumer) ---
+  const uint8_t* ReadPtr() const { return data_.data() + read_; }
+  size_t ReadableBytes() const { return write_ - read_; }
+  void ConsumeRead(size_t n) {
+    VCDN_DCHECK(n <= ReadableBytes());
+    read_ += n;
+    if (read_ == write_) {
+      // Cheap, common case: everything parsed, reuse the whole buffer.
+      read_ = 0;
+      write_ = 0;
+    }
+  }
+
+  // --- write side (producer) ---
+  uint8_t* WritePtr() { return data_.data() + write_; }
+  size_t WritableBytes() const { return data_.size() - write_; }
+  void CommitWrite(size_t n) {
+    VCDN_DCHECK(n <= WritableBytes());
+    write_ += n;
+  }
+
+  // Makes room for at least n more writable bytes: first by sliding unread
+  // bytes to the front (free), only then by growing the allocation.
+  void EnsureWritable(size_t n) {
+    if (WritableBytes() >= n) {
+      return;
+    }
+    Compact();
+    if (WritableBytes() < n) {
+      data_.resize(write_ + n);
+    }
+  }
+
+  // Appends n raw bytes (EnsureWritable + memcpy + CommitWrite).
+  void Append(const void* src, size_t n) {
+    EnsureWritable(n);
+    std::memcpy(WritePtr(), src, n);
+    CommitWrite(n);
+  }
+
+  void Compact() {
+    if (read_ == 0) {
+      return;
+    }
+    const size_t unread = ReadableBytes();
+    if (unread > 0) {
+      std::memmove(data_.data(), data_.data() + read_, unread);
+    }
+    read_ = 0;
+    write_ = unread;
+  }
+
+  void Clear() {
+    read_ = 0;
+    write_ = 0;
+  }
+
+  size_t capacity() const { return data_.size(); }
+  bool empty() const { return read_ == write_; }
+
+ private:
+  std::vector<uint8_t> data_;
+  size_t read_ = 0;
+  size_t write_ = 0;
+};
+
+}  // namespace vcdn::net
+
+#endif  // VCDN_SRC_NET_WIRE_BUFFER_H_

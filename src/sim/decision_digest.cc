@@ -1,0 +1,25 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+
+#include "src/sim/decision_digest.h"
+
+#include "src/core/cache_factory.h"
+#include "src/sim/replay.h"
+
+namespace vcdn::sim {
+
+uint64_t ReplayOutcomeDigest(core::CacheKind kind, const core::CacheConfig& config,
+                             const trace::Trace& trace, size_t batch_size) {
+  auto cache = core::MakeCache(kind, config);
+  OutcomeDigest digest;
+  ReplayOptions options;
+  options.batch_size = batch_size;
+  options.on_outcome = [&digest](const trace::Request& request,
+                                 const core::RequestOutcome& outcome) {
+    (void)request;
+    digest.Fold(outcome);
+  };
+  Replay(*cache, trace, options);
+  return digest.value();
+}
+
+}  // namespace vcdn::sim

@@ -1,0 +1,101 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// The determinism bridge between the live edge-server daemon (src/net) and
+// the offline replayer: both sides fold the per-request outcome stream into
+// the same FNV-1a digest, so "the daemon served exactly the decisions the
+// simulator would have" is a single uint64 comparison. Mirrors the
+// discipline sim::FleetDigest enforces for parallel replays
+// (docs/PARALLELISM.md); the network variant is documented in
+// docs/NETWORKING.md.
+//
+// The fold covers every deterministic field of an outcome -- decision,
+// served-from tier, requested bytes, hit/filled/evicted chunk counts -- in
+// request order. With one shard and one connection the daemon handles
+// requests in exactly trace order, so the digests must match bit for bit at
+// any pool thread count.
+
+#ifndef VCDN_SRC_SIM_DECISION_DIGEST_H_
+#define VCDN_SRC_SIM_DECISION_DIGEST_H_
+
+#include <cstdint>
+
+#include "src/core/cache_algorithm.h"
+#include "src/core/cache_factory.h"
+#include "src/trace/request.h"
+
+namespace vcdn::sim {
+
+// Which line of defense served a request (the paper's tiers: RAM/disk in
+// front of origin). Derived from the outcome so both the daemon's response
+// encoder and the offline fold compute it identically.
+enum class ServedTier : uint8_t {
+  kDisk = 0,        // served, every requested chunk already on disk
+  kDiskFill = 1,    // served after ingressing at least one chunk from origin
+  kRedirect = 2,    // 302 to an alternative server
+  kUnavailable = 3  // never reached the cache (outage / drain)
+};
+
+inline ServedTier ServedTierOf(const core::RequestOutcome& outcome) {
+  switch (outcome.decision) {
+    case core::Decision::kServe:
+      return outcome.filled_chunks == 0 ? ServedTier::kDisk : ServedTier::kDiskFill;
+    case core::Decision::kRedirect:
+      return ServedTier::kRedirect;
+    case core::Decision::kUnavailable:
+      return ServedTier::kUnavailable;
+  }
+  return ServedTier::kUnavailable;
+}
+
+// Order-sensitive FNV-1a accumulator over outcome streams. Fold the fields
+// either from a core::RequestOutcome (offline replay, daemon shard) or from
+// the equivalent wire-response fields (load-generator client); the two
+// spellings are defined to fold identical byte sequences.
+class OutcomeDigest {
+ public:
+  void Fold(const core::RequestOutcome& outcome) {
+    FoldFields(static_cast<uint8_t>(outcome.decision),
+               static_cast<uint8_t>(ServedTierOf(outcome)), outcome.requested_bytes,
+               outcome.hit_chunks, outcome.filled_chunks, outcome.evicted_chunks);
+  }
+
+  // The wire-side spelling: exactly the fields a net::ResponseFrame carries.
+  void FoldFields(uint8_t decision, uint8_t tier, uint64_t requested_bytes, uint32_t hit_chunks,
+                  uint32_t filled_chunks, uint32_t evicted_chunks) {
+    FoldByte(decision);
+    FoldByte(tier);
+    FoldU64(requested_bytes);
+    FoldU64(hit_chunks);
+    FoldU64(filled_chunks);
+    FoldU64(evicted_chunks);
+    ++count_;
+  }
+
+  uint64_t value() const { return hash_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  static constexpr uint64_t kOffset = 1469598103934665603ULL;
+  static constexpr uint64_t kPrime = 1099511628211ULL;
+
+  void FoldByte(uint8_t byte) { hash_ = (hash_ ^ byte) * kPrime; }
+  void FoldU64(uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      FoldByte(static_cast<uint8_t>((value >> shift) & 0xFF));
+    }
+  }
+
+  uint64_t hash_ = kOffset;
+  uint64_t count_ = 0;
+};
+
+// Replays `trace` through a fresh cache of the given kind/config offline
+// (sim::Replay, no warmup split semantics involved -- the digest covers the
+// whole stream) and returns the outcome digest. This is the reference value
+// the loopback bridge compares the daemon-served digest against.
+uint64_t ReplayOutcomeDigest(core::CacheKind kind, const core::CacheConfig& config,
+                             const trace::Trace& trace, size_t batch_size = 16);
+
+}  // namespace vcdn::sim
+
+#endif  // VCDN_SRC_SIM_DECISION_DIGEST_H_

@@ -1,0 +1,85 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Fail-fast contract of bench::FlagsFromArgs: a typoed flag, a missing
+// value, an unparsable count or a stray positional argument must exit(2)
+// naming the offender on stderr -- never silently run the default
+// configuration (that is how wrong bench numbers get committed). Death
+// tests, since the contract IS the exit.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace vcdn::bench {
+namespace {
+
+// argv helper: gtest death tests re-exec the statement in a child, so
+// building argv inline per call keeps each case self-contained.
+BenchFlags Parse(std::vector<std::string> args,
+                 const std::vector<std::string>& extra = {}) {
+  std::vector<char*> argv;
+  static std::string prog = "bench_under_test";
+  argv.push_back(prog.data());
+  for (std::string& arg : args) {
+    argv.push_back(arg.data());
+  }
+  return FlagsFromArgs(static_cast<int>(argv.size()), argv.data(), extra);
+}
+
+TEST(BenchFlagsTest, ParsesTheSharedFlags) {
+  BenchFlags flags = Parse({"--threads", "8", "--repeat", "3", "--batch", "32"});
+  EXPECT_EQ(flags.threads, 8u);
+  EXPECT_EQ(flags.repeat, 3u);
+  EXPECT_EQ(flags.batch, 32u);
+}
+
+TEST(BenchFlagsTest, ObsFlagsAreAcceptedAndLeftForBenchObs) {
+  BenchFlags flags = Parse({"--obs-json", "/tmp/x.json", "--obs-series", "/tmp/x.jsonl",
+                            "--flight", "4096", "--post-mortem", "/tmp/pm.jsonl"});
+  EXPECT_EQ(flags.threads, 0u);  // defaults untouched
+}
+
+TEST(BenchFlagsTest, ExtraValueFlagsAreAccepted) {
+  BenchFlags flags = Parse({"--out", "/tmp/bench.json", "--threads", "2"}, {"--out"});
+  EXPECT_EQ(flags.threads, 2u);
+}
+
+TEST(BenchFlagsTest, UnknownFlagExitsNamingTheOffender) {
+  EXPECT_EXIT(Parse({"--thread", "8"}), testing::ExitedWithCode(2),
+              "unknown flag '--thread'");
+}
+
+TEST(BenchFlagsTest, ExtraFlagOfAnotherBenchIsStillUnknownHere) {
+  // --out is only valid for benches that declare it.
+  EXPECT_EXIT(Parse({"--out", "/tmp/x.json"}), testing::ExitedWithCode(2),
+              "unknown flag '--out'");
+}
+
+TEST(BenchFlagsTest, MissingValueExits) {
+  EXPECT_EXIT(Parse({"--threads"}), testing::ExitedWithCode(2),
+              "missing its value");
+}
+
+TEST(BenchFlagsTest, UnparsableCountExits) {
+  EXPECT_EXIT(Parse({"--repeat", "three"}), testing::ExitedWithCode(2),
+              "invalid value 'three' for flag '--repeat'");
+  EXPECT_EXIT(Parse({"--flight", "-1"}), testing::ExitedWithCode(2),
+              "invalid value '-1' for flag '--flight'");
+}
+
+TEST(BenchFlagsTest, PositionalArgumentExits) {
+  EXPECT_EXIT(Parse({"traces.bin"}), testing::ExitedWithCode(2),
+              "unexpected positional argument 'traces.bin'");
+}
+
+TEST(BenchFlagsTest, RepeatAndBatchClampToAtLeastOne) {
+  BenchFlags flags = Parse({"--repeat", "0", "--batch", "0"});
+  EXPECT_EQ(flags.repeat, 1u);
+  EXPECT_EQ(flags.batch, 1u);
+}
+
+}  // namespace
+}  // namespace vcdn::bench

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_hotpath.json against the committed baseline.
+"""Compare a fresh bench JSON against the committed baseline.
 
 Usage: check_bench_regression.py BASELINE_JSON FRESH_JSON [--threshold 0.25]
 
-Guards the hot-path replay throughput tracked in BENCH_hotpath.json (the
-MEDIAN-of-repeats headline written by bench_replay_throughput):
+Guards the MEDIAN-of-repeats throughput headlines of the tracked bench
+baselines -- BENCH_hotpath.json (bench_replay_throughput) and
+BENCH_net.json (bench_net_loopback); the profile is picked from the JSON's
+own "bench" field, so both gates share this script:
 
   * exits 1 with a GitHub ::error annotation when any flat single-thread
     headline (xLRU or Cafe requests/sec) regressed by more than the
@@ -32,12 +34,23 @@ import argparse
 import json
 import sys
 
-HEADLINES = [
-    ("xLRU flat", ("single_thread", "xLRU", "flat", "requests_per_sec")),
-    ("Cafe flat", ("single_thread", "Cafe", "flat", "requests_per_sec")),
-]
-
-WORKLOAD_KEYS = ["scale", "days", "chunks_per_paper_tb", "seed", "servers", "requests"]
+# Per-bench gate profiles, keyed by the JSON's "bench" field. Files written
+# before the field existed fall back to the hotpath profile.
+PROFILES = {
+    "bench_replay_throughput": {
+        "headlines": [
+            ("xLRU flat", ("single_thread", "xLRU", "flat", "requests_per_sec")),
+            ("Cafe flat", ("single_thread", "Cafe", "flat", "requests_per_sec")),
+        ],
+        "workload_keys": ["scale", "days", "chunks_per_paper_tb", "seed", "servers", "requests"],
+    },
+    "bench_net_loopback": {
+        "headlines": [
+            ("net loopback", ("throughput", "requests_per_sec")),
+        ],
+        "workload_keys": ["scale", "seed", "requests", "connections", "pipeline", "shards"],
+    },
+}
 
 
 def dig(doc, path):
@@ -60,8 +73,23 @@ def main():
     with open(args.fresh) as f:
         fresh = json.load(f)
 
-    base_workload = {k: dig(baseline, ("workload", k)) for k in WORKLOAD_KEYS}
-    fresh_workload = {k: dig(fresh, ("workload", k)) for k in WORKLOAD_KEYS}
+    base_bench = baseline.get("bench", "bench_replay_throughput")
+    fresh_bench = fresh.get("bench", "bench_replay_throughput")
+    if base_bench != fresh_bench:
+        print(
+            "::error::comparing different benches (baseline %s vs fresh %s)"
+            % (base_bench, fresh_bench)
+        )
+        return 1
+    profile = PROFILES.get(base_bench)
+    if profile is None:
+        print("::warning::no gate profile for bench %r; skipping" % base_bench)
+        return 0
+    headlines = profile["headlines"]
+    workload_keys = profile["workload_keys"]
+
+    base_workload = {k: dig(baseline, ("workload", k)) for k in workload_keys}
+    fresh_workload = {k: dig(fresh, ("workload", k)) for k in workload_keys}
     if base_workload != fresh_workload:
         print(
             "::warning::bench workloads differ (baseline %s vs fresh %s); "
@@ -70,7 +98,7 @@ def main():
         return 0
 
     failed = False
-    for label, path in HEADLINES:
+    for label, path in headlines:
         base = dig(baseline, path)
         new = dig(fresh, path)
         if not base or not new:
