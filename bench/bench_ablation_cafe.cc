@@ -31,7 +31,8 @@ vcdn::sim::ReplayResult RunCafe(const vcdn::trace::Trace& trace,
 
 int main(int argc, char** argv) {
   using namespace vcdn;
-  bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
+  bench::BenchScale scale = bench::ResolveScale(flags);
   bench::BenchObs obs(argc, argv);
   obs.SetWorkload("ablation cafe", scale.seed);
   bench::PrintHeader("Ablation: Cafe Cache design choices (Europe, 1 TB, alpha=2)",

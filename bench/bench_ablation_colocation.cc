@@ -15,7 +15,8 @@
 
 int main(int argc, char** argv) {
   using namespace vcdn;
-  bench::BenchScale scale = bench::ScaleFromEnv();
+  bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
+  bench::BenchScale scale = bench::ResolveScale(flags);
   bench::BenchObs obs(argc, argv);
   obs.SetWorkload("ablation colocation", scale.seed);
   bench::PrintHeader(

@@ -2,6 +2,7 @@
 
 #include "bench/bench_common.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -38,12 +39,20 @@ BenchScale ScaleFromEnv() {
   return scale;
 }
 
+BenchScale ResolveScale(const BenchFlags& flags) {
+  BenchScale scale = ScaleFromEnv();
+  if (flags.scale > 0.0) {
+    scale.workload_scale = flags.scale;
+  }
+  return scale;
+}
+
 BenchFlags FlagsFromArgs(int argc, char** argv,
                          const std::vector<std::string>& extra_value_flags) {
   // Every accepted flag takes exactly one value. The obs flags are consumed
   // (and their values interpreted) by BenchObs; extras by the bench itself.
   static const char* const kSharedValueFlags[] = {
-      "--threads", "--repeat", "--batch",
+      "--threads", "--repeat", "--batch", "--scale",
       "--obs-json", "--obs-series", "--flight", "--post-mortem",
   };
   BenchFlags flags;
@@ -93,9 +102,26 @@ BenchFlags FlagsFromArgs(int argc, char** argv,
       } else if (arg == "--batch") {
         flags.batch = std::max<size_t>(1, static_cast<size_t>(parsed));
       }
+    } else if (arg == "--scale") {
+      double parsed = 0.0;
+      if (!util::ParseDouble(value, &parsed) || !std::isfinite(parsed) || parsed <= 0.0) {
+        std::fprintf(stderr, "error: invalid value '%s' for flag '--scale' (need a positive number)\n",
+                     value);
+        std::exit(2);
+      }
+      flags.scale = parsed;
     }
   }
   return flags;
+}
+
+trace::WorkloadConfig ServerWorkloadConfig(const trace::ServerProfile& profile, size_t index,
+                                           const BenchScale& scale) {
+  trace::WorkloadConfig config;
+  config.profile = profile;
+  config.seed = util::SplitSeed(scale.seed, index);
+  config.duration_seconds = scale.duration_seconds();
+  return config;
 }
 
 trace::Trace MakeServerTrace(trace::ServerProfile profile, const BenchScale& scale) {
@@ -115,11 +141,7 @@ std::vector<trace::Trace> MakeServerTraces(const std::vector<trace::ServerProfil
   std::vector<trace::WorkloadConfig> configs;
   configs.reserve(profiles.size());
   for (size_t i = 0; i < profiles.size(); ++i) {
-    trace::WorkloadConfig config;
-    config.profile = profiles[i];
-    config.seed = util::SplitSeed(scale.seed, i);
-    config.duration_seconds = scale.duration_seconds();
-    configs.push_back(std::move(config));
+    configs.push_back(ServerWorkloadConfig(profiles[i], i, scale));
   }
   trace::ParallelGenerateOptions options;
   options.threads = flags.threads;
@@ -323,6 +345,21 @@ std::vector<sim::ReplayResult> RunCacheJobs(const std::vector<CacheJob>& jobs,
                                : "",
               static_cast<unsigned long long>(digest));
   return std::move(fleet.servers);
+}
+
+MemoryUsage ReadMemoryUsage() {
+  MemoryUsage usage;
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    double kb = 0.0;
+    if (std::sscanf(line.c_str(), "VmRSS: %lf kB", &kb) == 1) {
+      usage.rss_mb = kb / 1024.0;
+    } else if (std::sscanf(line.c_str(), "VmHWM: %lf kB", &kb) == 1) {
+      usage.peak_rss_mb = kb / 1024.0;
+    }
+  }
+  return usage;
 }
 
 void RequireReleaseBuild() {

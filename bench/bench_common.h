@@ -57,6 +57,13 @@ struct BenchScale {
 // Reads the scale from the environment (defaults above).
 BenchScale ScaleFromEnv();
 
+struct BenchFlags;
+
+// Environment scale with the --scale flag applied on top: the env vars are
+// honored, an explicit --scale wins. This is what bench mains should call
+// (after FlagsFromArgs, which validates the flag).
+BenchScale ResolveScale(const BenchFlags& flags);
+
 // Command-line flags shared by the experiment binaries:
 //
 //   --threads N   worker threads for the fleet-parallel stages (trace
@@ -70,6 +77,9 @@ BenchScale ScaleFromEnv();
 //                 batching). Results are bit-identical at any N -- the knob
 //                 only changes how much memory-level parallelism the cache
 //                 can extract.
+//   --scale X     workload scale factor, the first-class form of
+//                 VCDN_BENCH_SCALE (the env var is still honored; the flag
+//                 wins -- see ResolveScale). Must be a positive number.
 //
 // Parsing fails FAST: an unknown "--" flag, a flag with a missing value, an
 // unparsable count, or a stray positional argument prints an error naming
@@ -83,6 +93,9 @@ struct BenchFlags {
   size_t threads = 0;
   size_t repeat = 1;
   size_t batch = 16;
+  // Workload scale from --scale; 0 means "not given" (ResolveScale then
+  // falls back to VCDN_BENCH_SCALE / the default).
+  double scale = 0.0;
 };
 BenchFlags FlagsFromArgs(int argc, char** argv,
                          const std::vector<std::string>& extra_value_flags = {});
@@ -154,6 +167,13 @@ class BenchObs {
   obs::RunMetadata meta_;
 };
 
+// The workload config MakeServerTraces materializes for server `index` of a
+// profile set: seed util::SplitSeed(scale.seed, index), duration from the
+// scale. Streaming producers (trace::GeneratedStream) built over this config
+// are bit-identical to the materialized trace.
+trace::WorkloadConfig ServerWorkloadConfig(const trace::ServerProfile& profile, size_t index,
+                                           const BenchScale& scale);
+
 // Generates the one-month trace of a server profile at the given scale.
 trace::Trace MakeServerTrace(trace::ServerProfile profile, const BenchScale& scale);
 
@@ -191,6 +211,15 @@ struct CacheJob {
 // identical for any thread count.
 std::vector<sim::ReplayResult> RunCacheJobs(const std::vector<CacheJob>& jobs,
                                             const BenchFlags& flags, BenchObs* obs = nullptr);
+
+// Process memory readout from /proc/self/status, in MiB. peak_rss_mb
+// (VmHWM) is the high-water mark since process start -- the scale sweep's
+// evidence that streaming replay keeps RSS bounded.
+struct MemoryUsage {
+  double rss_mb = 0.0;
+  double peak_rss_mb = 0.0;
+};
+MemoryUsage ReadMemoryUsage();
 
 // Prints the experiment banner: figure id, what the paper reported, and the
 // scale in effect. Also enforces RequireReleaseBuild().

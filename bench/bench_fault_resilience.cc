@@ -39,8 +39,8 @@ std::string DigestHex(uint64_t digest) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::BenchScale scale = bench::ScaleFromEnv();
   bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
+  bench::BenchScale scale = bench::ResolveScale(flags);
   bench::BenchObs obs(argc, argv);
   obs.SetWorkload("fault resilience", scale.seed);
   const size_t parallel_threads = flags.threads == 0 ? 7 : flags.threads;

@@ -45,8 +45,8 @@ size_t EnvSize(const char* name, size_t fallback) {
 
 int main(int argc, char** argv) {
   using namespace vcdn;
-  bench::BenchScale scale = bench::ScaleFromEnv();
   bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
+  bench::BenchScale scale = bench::ResolveScale(flags);
   bench::BenchObs obs(argc, argv);
   obs.SetWorkload("fig2 optimal vs psychic", scale.seed);
   size_t num_files = EnvSize("VCDN_FIG2_FILES", 40);

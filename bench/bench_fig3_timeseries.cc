@@ -63,8 +63,8 @@ void WriteSeriesCsv(const std::vector<vcdn::sim::ReplayResult>& results, const c
 
 int main(int argc, char** argv) {
   using namespace vcdn;
-  bench::BenchScale scale = bench::ScaleFromEnv();
   bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
+  bench::BenchScale scale = bench::ResolveScale(flags);
   bench::BenchObs obs(argc, argv);
   obs.SetWorkload("fig3 timeseries", scale.seed);
   bench::PrintHeader(

@@ -35,8 +35,8 @@ double DiskToReach(const std::vector<double>& disks, const std::vector<double>& 
 
 int main(int argc, char** argv) {
   using namespace vcdn;
-  bench::BenchScale scale = bench::ScaleFromEnv();
   bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv);
+  bench::BenchScale scale = bench::ResolveScale(flags);
   bench::BenchObs obs(argc, argv);
   obs.SetWorkload("fig6 disk sweep", scale.seed);
   bench::PrintHeader(

@@ -41,8 +41,8 @@ size_t ArgSize(int argc, char** argv, const char* name, size_t fallback) {
 
 int main(int argc, char** argv) {
   using namespace vcdn;
-  bench::BenchScale scale = bench::ScaleFromEnv();
   bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv, {"--max-threads"});
+  bench::BenchScale scale = bench::ResolveScale(flags);
   bench::BenchObs obs(argc, argv);
   obs.SetWorkload("fleet scaling", scale.seed);
   const size_t hardware = std::max<size_t>(1, std::thread::hardware_concurrency());

@@ -103,9 +103,9 @@ struct Target {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::BenchScale scale = bench::ScaleFromEnv();
   bench::BenchFlags flags = bench::FlagsFromArgs(
       argc, argv, {"--connections", "--pipeline", "--shards", "--connect", "--out"});
+  bench::BenchScale scale = bench::ResolveScale(flags);
   bench::BenchObs obs(argc, argv);
 
   const size_t connections = ArgSize(argc, argv, "--connections", 4);

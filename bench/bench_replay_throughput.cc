@@ -221,8 +221,8 @@ void WriteRunJson(std::ofstream& out, const char* indent, const SingleThreadRun&
 
 int main(int argc, char** argv) {
   using namespace vcdn;
-  bench::BenchScale scale = bench::ScaleFromEnv();
   bench::BenchFlags flags = bench::FlagsFromArgs(argc, argv, {"--out"});
+  bench::BenchScale scale = bench::ResolveScale(flags);
   bench::BenchObs obs(argc, argv);
   obs.SetWorkload("fig7 six servers", scale.seed);
   std::string out_path = "BENCH_hotpath.json";

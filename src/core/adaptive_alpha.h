@@ -41,6 +41,7 @@ class AdaptiveAlphaCache : public CacheAlgorithm {
   AdaptiveAlphaCache(std::unique_ptr<CacheAlgorithm> inner, const AdaptiveAlphaOptions& options);
 
   void Prepare(const trace::Trace& trace) override { inner_->Prepare(trace); }
+  bool requires_full_trace() const override { return inner_->requires_full_trace(); }
   std::string_view name() const override { return name_; }
   uint64_t used_chunks() const override { return inner_->used_chunks(); }
   bool ContainsChunk(const ChunkId& chunk) const override { return inner_->ContainsChunk(chunk); }

@@ -91,6 +91,7 @@ class BeladyCache : public CacheAlgorithm {
   }
 
   void Prepare(const trace::Trace& trace) override;
+  bool requires_full_trace() const override { return true; }
   std::string_view name() const override { return "Belady"; }
   uint64_t used_chunks() const override { return cached_.size(); }
   bool ContainsChunk(const ChunkId& chunk) const override { return cached_.Contains(chunk); }

@@ -74,6 +74,12 @@ class CacheAlgorithm {
   // before replay (Problem 2); online algorithms ignore this.
   virtual void Prepare(const trace::Trace& trace) { (void)trace; }
 
+  // True for offline algorithms whose Prepare() indexes the whole trace;
+  // such caches cannot be driven by sim::ReplayStream (there is no full
+  // trace to hand them). Online algorithms -- everything the paper deploys
+  // -- stream fine with the default.
+  virtual bool requires_full_trace() const { return false; }
+
   // Handles one request; requests must arrive in non-decreasing time order.
   // Non-virtual choke point: dispatches to HandleRequestImpl and, when a
   // metrics registry is attached, records the outcome into the cache's

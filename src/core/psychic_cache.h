@@ -44,6 +44,7 @@ class PsychicCache : public CacheAlgorithm {
 
   // Indexes the full request sequence: per-chunk future arrival times.
   void Prepare(const trace::Trace& trace) override;
+  bool requires_full_trace() const override { return true; }
 
   std::string_view name() const override { return "Psychic"; }
   uint64_t used_chunks() const override { return cached_.size(); }

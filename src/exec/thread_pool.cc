@@ -215,15 +215,27 @@ void ThreadPool::Submit(std::function<void()> task, const char* label) {
 }
 
 void ThreadPool::Enqueue(Task task) {
+  // Queue discipline (the owner pops from the back): a worker's own
+  // subtasks go to the back, so recursive fan-out runs depth-first (LIFO,
+  // bounded queue growth, warm caches); external submissions go to the
+  // front, so relative to each other they run FIFO on the worker they land
+  // on. The FIFO half is what lets the timer thread's (deadline, seq) fire
+  // order survive into execution order for equal deadlines on one worker
+  // (ThreadPoolTimerTest.EqualDeadlinesFireInSubmitOrder).
+  const bool own_worker = current_worker.pool == this;
   size_t target;
-  if (current_worker.pool == this) {
+  if (own_worker) {
     target = current_worker.index;
   } else {
     target = next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
   }
   {
     std::lock_guard<std::mutex> lock(workers_[target]->mu);
-    workers_[target]->queue.push_back(std::move(task));
+    if (own_worker) {
+      workers_[target]->queue.push_back(std::move(task));
+    } else {
+      workers_[target]->queue.push_front(std::move(task));
+    }
   }
   {
     std::lock_guard<std::mutex> lock(sleep_mu_);

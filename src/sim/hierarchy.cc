@@ -33,13 +33,23 @@ struct EdgeCapture {
   util::BucketedSeries outage_series;
   // Steady-state cost of those bytes (outage_penalty x origin inflation).
   double outage_cost = 0.0;
+  // The edge's covered time span, reported back so the parent phase can
+  // size its window after the join (streamed edges have no trace to ask).
+  double duration = 0.0;
 
   explicit EdgeCapture(double bucket_seconds) : outage_series(0.0, bucket_seconds) {}
 };
 
+// One edge's request source: a materialized trace or a stream factory,
+// never both.
+struct EdgeSource {
+  const trace::Trace* trace = nullptr;
+  const StreamFactory* factory = nullptr;
+};
+
 // Replays one edge with a local redirect capture and (when obs is on) local
 // instruments, so edges can run concurrently and still merge exactly.
-void RunEdge(const trace::Trace& edge_trace, const HierarchyConfig& config, size_t edge_index,
+void RunEdge(const EdgeSource& source, const HierarchyConfig& config, size_t edge_index,
              obs::MetricsRegistry* local_metrics, obs::TraceEventSink* local_sink,
              obs::TimeSeriesRecorder* local_series, obs::FlightRecorder* local_flight,
              std::vector<obs::FlightCapture>* local_captures, ReplayResult& result_out,
@@ -54,7 +64,13 @@ void RunEdge(const trace::Trace& edge_trace, const HierarchyConfig& config, size
   options.flight_label = "edge" + std::to_string(edge_index);
   options.faults = config.faults;
   options.fault_target = edge_index;
-  const double steady_start = edge_trace.duration * options.measurement_start_fraction;
+  std::unique_ptr<trace::RequestStream> stream;
+  if (source.trace == nullptr) {
+    // Built on this edge's worker, so producer state lives with the edge.
+    stream = (*source.factory)();
+  }
+  const double duration = source.trace != nullptr ? source.trace->duration : stream->duration();
+  const double steady_start = duration * options.measurement_start_fraction;
   uint64_t seq = 0;
   options.on_outcome = [&](const trace::Request& request, const core::RequestOutcome& outcome) {
     if (outcome.decision == core::Decision::kRedirect) {
@@ -69,26 +85,22 @@ void RunEdge(const trace::Trace& edge_trace, const HierarchyConfig& config, size
       }
     }
   };
-  result_out = Replay(*edge, edge_trace, options);
+  result_out = source.trace != nullptr ? Replay(*edge, *source.trace, options)
+                                       : ReplayStream(*edge, *stream, options);
+  capture.duration = duration;
 }
 
-}  // namespace
-
-HierarchyResult RunHierarchy(const std::vector<trace::Trace>& edge_traces,
-                             const HierarchyConfig& config) {
-  VCDN_CHECK(!edge_traces.empty());
+HierarchyResult RunHierarchyImpl(const std::vector<EdgeSource>& edge_sources,
+                                 const HierarchyConfig& config) {
+  VCDN_CHECK(!edge_sources.empty());
   // The hierarchy owns the replay loop's callbacks and the fault wiring.
   VCDN_CHECK(config.replay.observer == nullptr);
   VCDN_CHECK(config.replay.on_outcome == nullptr);
   VCDN_CHECK(config.replay.faults == nullptr);
 
-  const size_t num_edges = edge_traces.size();
+  const size_t num_edges = edge_sources.size();
   HierarchyResult result;
   result.edges.resize(num_edges);
-  double max_duration = 0.0;
-  for (const trace::Trace& edge_trace : edge_traces) {
-    max_duration = std::max(max_duration, edge_trace.duration);
-  }
 
   // Per-edge local obs, merged in edge order below (identical for any thread
   // count; see docs/PARALLELISM.md).
@@ -150,7 +162,7 @@ HierarchyResult RunHierarchy(const std::vector<trace::Trace>& edge_traces,
   }
   if (pool == nullptr) {
     for (size_t i = 0; i < num_edges; ++i) {
-      RunEdge(edge_traces[i], config, i, edge_metrics_ptr(i), edge_sink_ptr(i),
+      RunEdge(edge_sources[i], config, i, edge_metrics_ptr(i), edge_sink_ptr(i),
               edge_series_ptr(i), edge_flight_ptr(i), edge_captures_ptr(i), result.edges[i],
               captures[i]);
     }
@@ -159,7 +171,7 @@ HierarchyResult RunHierarchy(const std::vector<trace::Trace>& edge_traces,
     for (size_t i = 0; i < num_edges; ++i) {
       pool->Submit(
           [&, i] {
-            RunEdge(edge_traces[i], config, i, edge_metrics_ptr(i), edge_sink_ptr(i),
+            RunEdge(edge_sources[i], config, i, edge_metrics_ptr(i), edge_sink_ptr(i),
                     edge_series_ptr(i), edge_flight_ptr(i), edge_captures_ptr(i),
                     result.edges[i], captures[i]);
             done.CountDown();
@@ -167,6 +179,11 @@ HierarchyResult RunHierarchy(const std::vector<trace::Trace>& edge_traces,
           "hierarchy.edge");
     }
     done.Wait();
+  }
+  // Known only now for streamed edges (each reported its stream's span).
+  double max_duration = 0.0;
+  for (const EdgeCapture& capture : captures) {
+    max_duration = std::max(max_duration, capture.duration);
   }
   std::vector<TaggedRedirect> tagged;
   for (EdgeCapture& capture : captures) {
@@ -328,6 +345,27 @@ HierarchyResult RunHierarchy(const std::vector<trace::Trace>& edge_traces,
     result.origin_cost = static_cast<double>(result.origin_bytes);
   }
   return result;
+}
+
+}  // namespace
+
+HierarchyResult RunHierarchy(const std::vector<trace::Trace>& edge_traces,
+                             const HierarchyConfig& config) {
+  std::vector<EdgeSource> sources(edge_traces.size());
+  for (size_t i = 0; i < edge_traces.size(); ++i) {
+    sources[i].trace = &edge_traces[i];
+  }
+  return RunHierarchyImpl(sources, config);
+}
+
+HierarchyResult RunHierarchy(const std::vector<StreamFactory>& edge_streams,
+                             const HierarchyConfig& config) {
+  std::vector<EdgeSource> sources(edge_streams.size());
+  for (size_t i = 0; i < edge_streams.size(); ++i) {
+    VCDN_CHECK(edge_streams[i] != nullptr);
+    sources[i].factory = &edge_streams[i];
+  }
+  return RunHierarchyImpl(sources, config);
 }
 
 }  // namespace vcdn::sim

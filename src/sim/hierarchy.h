@@ -114,6 +114,15 @@ struct HierarchyResult {
 HierarchyResult RunHierarchy(const std::vector<trace::Trace>& edge_traces,
                              const HierarchyConfig& config);
 
+// Streaming variant: one request-stream factory per edge, each invoked on
+// its edge's worker, so no edge trace is ever materialized (redirects --
+// a small fraction of edge traffic -- still materialize for the parent
+// tier's merged replay). Bit-identical to the trace overload fed with the
+// equivalent materialized traces. Edge caches must be online
+// (CacheAlgorithm::requires_full_trace() == false).
+HierarchyResult RunHierarchy(const std::vector<StreamFactory>& edge_streams,
+                             const HierarchyConfig& config);
+
 }  // namespace vcdn::sim
 
 #endif  // VCDN_SRC_SIM_HIERARCHY_H_

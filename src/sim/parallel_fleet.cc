@@ -45,7 +45,15 @@ ReplayOptions ShardReplayOptions(const ReplayOptions& base, const FleetServer& s
 void RunShard(const FleetServer& server, const ReplayOptions& base, ShardObs& obs,
               size_t shard_index, ReplayResult& out) {
   auto cache = core::MakeCache(server.kind, server.config);
-  out = Replay(*cache, *server.trace, ShardReplayOptions(base, server, obs, shard_index));
+  const ReplayOptions options = ShardReplayOptions(base, server, obs, shard_index);
+  if (server.trace != nullptr) {
+    out = Replay(*cache, *server.trace, options);
+  } else {
+    // Built here, on the shard's worker, so producer state lives and dies
+    // with the shard.
+    std::unique_ptr<trace::RequestStream> stream = server.stream();
+    out = ReplayStream(*cache, *stream, options);
+  }
 }
 
 }  // namespace
@@ -53,7 +61,8 @@ void RunShard(const FleetServer& server, const ReplayOptions& base, ShardObs& ob
 FleetResult RunFleet(const std::vector<FleetServer>& servers, const FleetOptions& options) {
   VCDN_CHECK(!servers.empty());
   for (const FleetServer& server : servers) {
-    VCDN_CHECK(server.trace != nullptr);
+    VCDN_CHECK_MSG((server.trace != nullptr) != static_cast<bool>(server.stream),
+                   "FleetServer needs exactly one of trace or stream");
   }
   // Per-shard callbacks would run concurrently on pool workers; the fleet
   // API deliberately has no per-request hook.

@@ -29,12 +29,18 @@
 
 namespace vcdn::sim {
 
-// One server shard: an independent cache replaying its own trace.
+// One server shard: an independent cache replaying its own request source.
+// Exactly one of `trace` (materialized) or `stream` (streaming: generated
+// lookahead, mmap'd trace file, ...) must be set. A stream factory runs on
+// the shard's worker; if it builds a GeneratedStream with a generator pool,
+// that pool must NOT be the one replaying the fleet (see
+// src/trace/generated_stream.h on the deadlock hazard).
 struct FleetServer {
   std::string name;  // label for trace lanes and reports
   core::CacheKind kind = core::CacheKind::kCafe;
   core::CacheConfig config;
   const trace::Trace* trace = nullptr;  // not owned; must outlive RunFleet
+  StreamFactory stream;                 // streaming alternative to `trace`
 };
 
 struct FleetOptions {

@@ -23,6 +23,7 @@
 #include "src/obs/trace_event.h"
 #include "src/sim/metrics.h"
 #include "src/trace/request.h"
+#include "src/trace/request_stream.h"
 
 namespace vcdn::sim {
 
@@ -138,6 +139,23 @@ struct ReplayResult {
 // be time-ordered.
 ReplayResult Replay(core::CacheAlgorithm& cache, const trace::Trace& trace,
                     const ReplayOptions& options = {});
+
+// Streaming replay: consumes a RequestStream in batch_size chunks without
+// ever holding the full trace, so peak RSS is bounded by the producer's
+// lookahead. Bit-identical to Replay() over the equivalent materialized
+// trace -- outcomes, series, flight rings and digests -- at every thread
+// count and batch size (see tests/sim_replay_stream_test.cc). Refuses
+// offline algorithms (CacheAlgorithm::requires_full_trace), and CHECK-fails
+// if the stream ends with a non-OK status (validate untrusted trace files
+// up front via MmapTrace::Validate).
+ReplayResult ReplayStream(core::CacheAlgorithm& cache, trace::RequestStream& stream,
+                          const ReplayOptions& options = {});
+
+// Builds a server's request stream on demand -- called on the replaying
+// worker, so producer state (generator windows, mmap cursors) lives with the
+// shard. Used by RunFleet / RunHierarchy as the streaming alternative to a
+// materialized per-server Trace.
+using StreamFactory = std::function<std::unique_ptr<trace::RequestStream>()>;
 
 }  // namespace vcdn::sim
 

@@ -1,0 +1,88 @@
+// Copyright (c) 2026 libvcdn authors. Apache-2.0 license.
+//
+// Pull-iterator interface over a time-ordered request sequence, the
+// streaming counterpart of a materialized trace::Trace. Replay consumes
+// requests in bounded spans (sim::ReplayStream), so a producer never has to
+// hold more than its lookahead in memory: full paper-scale traces (a month,
+// six servers) replay with peak RSS independent of trace length.
+//
+// Producers:
+//   * TraceView        -- adapter over an in-memory Trace (the materialized
+//                         reference every streaming producer is digest-
+//                         checked against),
+//   * GeneratedStream  -- generate-as-you-replay synthetic workload
+//                         (src/trace/generated_stream.h),
+//   * MmapTrace::ServerStream -- zero-copy spans over a packed VCDNTRS2
+//                         binary trace file (src/trace/trace_file.h).
+
+#ifndef VCDN_SRC_TRACE_REQUEST_STREAM_H_
+#define VCDN_SRC_TRACE_REQUEST_STREAM_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/trace/request.h"
+#include "src/util/status.h"
+
+namespace vcdn::trace {
+
+// A view of consecutive, time-ordered requests. Valid until the next Next()
+// call on the producing stream, or until the stream is destroyed.
+struct RequestSpan {
+  const Request* data = nullptr;
+  size_t count = 0;
+
+  bool empty() const { return count == 0; }
+  const Request* begin() const { return data; }
+  const Request* end() const { return data + count; }
+};
+
+class RequestStream {
+ public:
+  virtual ~RequestStream() = default;
+
+  // Pulls the next at-most-`max` requests (`max` >= 1). An empty span means
+  // end of stream -- either exhaustion or a validation failure; consumers
+  // that stream untrusted bytes must check status() when the stream ends.
+  virtual RequestSpan Next(size_t max) = 0;
+
+  // Covered time span [0, duration); known up front for every producer (the
+  // generator knows its config, the binary format carries it in the header),
+  // so replay collectors pre-size without seeing the whole stream.
+  virtual double duration() const = 0;
+
+  // Total record count when known up front (materialized traces, binary
+  // headers); 0 when the stream is generated on the fly.
+  virtual uint64_t total_requests_hint() const { return 0; }
+
+  // Non-OK when the stream ended early on a malformed record (a lazily
+  // validating producer). Streams that cannot fail always return OK.
+  virtual util::Status status() const { return util::OkStatus(); }
+};
+
+// Adapter over a materialized Trace. The trace is not owned and must outlive
+// the view.
+class TraceView final : public RequestStream {
+ public:
+  explicit TraceView(const Trace& trace) : trace_(&trace) {}
+
+  RequestSpan Next(size_t max) override {
+    VCDN_DCHECK(max > 0);
+    const size_t remaining = trace_->requests.size() - cursor_;
+    const size_t count = std::min(max, remaining);
+    RequestSpan span{trace_->requests.data() + cursor_, count};
+    cursor_ += count;
+    return span;
+  }
+
+  double duration() const override { return trace_->duration; }
+  uint64_t total_requests_hint() const override { return trace_->requests.size(); }
+
+ private:
+  const Trace* trace_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace vcdn::trace
+
+#endif  // VCDN_SRC_TRACE_REQUEST_STREAM_H_

@@ -42,6 +42,137 @@ WorkloadGenerator::WorkloadGenerator(WorkloadConfig config) : config_(std::move(
   VCDN_CHECK(config_.profile.diurnal_amplitude >= 0.0 && config_.profile.diurnal_amplitude < 1.0);
 }
 
+WindowedWorkload::WindowedWorkload(WorkloadConfig config)
+    : config_(std::move(config)),
+      arrival_rng_(config_.seed, kStreamArrivals),
+      pick_rng_(config_.seed, kStreamVideoPick),
+      range_rng_(config_.seed, kStreamRange) {
+  VCDN_CHECK(config_.duration_seconds > 0.0);
+  VCDN_CHECK(config_.popularity_refresh_seconds > 0.0);
+  VCDN_CHECK(config_.profile.catalog_size > 0);
+  VCDN_CHECK(config_.profile.base_request_rate > 0.0);
+  VCDN_CHECK(config_.profile.diurnal_amplitude >= 0.0 && config_.profile.diurnal_amplitude < 1.0);
+
+  const ServerProfile& profile = config_.profile;
+  util::Pcg32 catalog_rng(config_.seed, kStreamCatalog);
+  lambda_max_ = profile.base_request_rate * (1.0 + profile.diurnal_amplitude + 0.1);
+
+  auto make_video = [&](VideoId id, double birth) {
+    VideoMeta v;
+    v.id = id;
+    v.birth_time = birth;
+    double size = util::SampleLogNormal(catalog_rng, profile.size_lognormal_mu,
+                                        profile.size_lognormal_sigma);
+    size = std::clamp(size, static_cast<double>(profile.min_video_bytes),
+                      static_cast<double>(profile.max_video_bytes));
+    v.size_bytes = static_cast<uint64_t>(size);
+    v.base_weight = util::SamplePareto(catalog_rng, 1.0, profile.popularity_shape);
+    if (catalog_rng.NextBool(profile.evergreen_fraction)) {
+      v.video_class = VideoClass::kEvergreen;
+      v.decay_tau = 0.0;
+    } else {
+      v.video_class = VideoClass::kTransient;
+      // Per-video decay constant around the profile mean (at least 12 hours).
+      double tau = util::SampleExponential(catalog_rng, profile.transient_tau_days) + 0.5;
+      v.decay_tau = tau * kSecondsPerDay;
+    }
+    return v;
+  };
+
+  // Pre-existing catalog: births spread over the history window so transient
+  // entries are at various stages of decay at trace start.
+  catalog_.videos.reserve(profile.catalog_size + 16);
+  for (size_t i = 0; i < profile.catalog_size; ++i) {
+    double birth = -kCatalogHistorySeconds * catalog_rng.NextDouble();
+    catalog_.videos.push_back(make_video(static_cast<VideoId>(i), birth));
+  }
+
+  // Catalog churn: Poisson new-video uploads throughout the trace.
+  double upload_rate = profile.new_videos_per_day / kSecondsPerDay;
+  if (upload_rate > 0.0) {
+    double t = util::SampleExponential(catalog_rng, 1.0 / upload_rate);
+    while (t < config_.duration_seconds) {
+      catalog_.videos.push_back(make_video(static_cast<VideoId>(catalog_.videos.size()), t));
+      t += util::SampleExponential(catalog_rng, 1.0 / upload_rate);
+    }
+  }
+}
+
+bool WindowedWorkload::NextWindow(std::vector<Request>* out) {
+  if (window_start_ >= config_.duration_seconds) {
+    return false;
+  }
+  const ServerProfile& profile = config_.profile;
+  double window_end =
+      std::min(window_start_ + config_.popularity_refresh_seconds, config_.duration_seconds);
+  double window_mid = 0.5 * (window_start_ + window_end);
+
+  // Rebuild the sampling table from demand weights at the window midpoint.
+  active_ids_.clear();
+  active_weights_.clear();
+  for (const VideoMeta& v : catalog_.videos) {
+    double w = WorkloadGenerator::VideoWeightAt(v, window_mid, config_);
+    if (w > config_.weight_floor_fraction * v.base_weight && w > 0.0) {
+      active_ids_.push_back(v.id);
+      active_weights_.push_back(w);
+    }
+  }
+  if (active_ids_.empty()) {
+    window_start_ += config_.popularity_refresh_seconds;
+    return true;
+  }
+  util::AliasTable table(active_weights_);
+
+  // Request arrivals: non-homogeneous Poisson process sampled by thinning
+  // against the maximum rate.
+  double t = window_start_;
+  for (;;) {
+    t += util::SampleExponential(arrival_rng_, 1.0 / lambda_max_);
+    if (t >= window_end) {
+      break;
+    }
+    // Thinning acceptance for the diurnal/weekly modulated rate.
+    double accept =
+        profile.base_request_rate * WorkloadGenerator::DiurnalFactor(profile, t) / lambda_max_;
+    if (!arrival_rng_.NextBool(accept)) {
+      continue;
+    }
+
+    const VideoMeta& video = catalog_.videos[active_ids_[table.Sample(pick_rng_)]];
+    if (video.birth_time > t) {
+      // Born later in this sampling window; it cannot be requested yet.
+      continue;
+    }
+
+    Request r;
+    r.arrival_time = t;
+    r.video = video.id;
+
+    // Intra-file pattern: most views start at the head of the file; others
+    // seek into the early part (quadratic skew toward the beginning). View
+    // length is an exponential fraction of the file, truncated at EOF.
+    uint64_t size = video.size_bytes;
+    uint64_t start = 0;
+    if (!range_rng_.NextBool(profile.start_at_zero_probability)) {
+      double u = range_rng_.NextDouble();
+      double start_fraction = 0.75 * u * u;
+      start = static_cast<uint64_t>(start_fraction * static_cast<double>(size - 1));
+    }
+    double view_fraction = util::SampleExponential(range_rng_, profile.mean_view_fraction);
+    auto view_bytes = static_cast<uint64_t>(view_fraction * static_cast<double>(size));
+    view_bytes = std::max(view_bytes, kMinViewBytes);
+    uint64_t end = start + view_bytes - 1;
+    end = std::min(end, size - 1);
+
+    r.byte_begin = start;
+    r.byte_end = end;
+    out->push_back(r);
+  }
+
+  window_start_ += config_.popularity_refresh_seconds;
+  return true;
+}
+
 double WorkloadGenerator::DiurnalFactor(const ServerProfile& profile, double t) {
   // Server-local time-of-day; demand peaks at ~20:00 local and bottoms out at
   // ~08:00 local. A mild weekly swing is superimposed.
@@ -74,132 +205,17 @@ double WorkloadGenerator::VideoWeightAt(const VideoMeta& video, double t,
 }
 
 GeneratedWorkload WorkloadGenerator::Generate() {
-  const ServerProfile& profile = config_.profile;
-  util::Pcg32 catalog_rng(config_.seed, kStreamCatalog);
-  util::Pcg32 arrival_rng(config_.seed, kStreamArrivals);
-  util::Pcg32 pick_rng(config_.seed, kStreamVideoPick);
-  util::Pcg32 range_rng(config_.seed, kStreamRange);
+  WindowedWorkload windows(config_);
 
   GeneratedWorkload out;
-  Catalog& catalog = out.catalog;
-
-  auto make_video = [&](VideoId id, double birth) {
-    VideoMeta v;
-    v.id = id;
-    v.birth_time = birth;
-    double size = util::SampleLogNormal(catalog_rng, profile.size_lognormal_mu,
-                                        profile.size_lognormal_sigma);
-    size = std::clamp(size, static_cast<double>(profile.min_video_bytes),
-                      static_cast<double>(profile.max_video_bytes));
-    v.size_bytes = static_cast<uint64_t>(size);
-    v.base_weight = util::SamplePareto(catalog_rng, 1.0, profile.popularity_shape);
-    if (catalog_rng.NextBool(profile.evergreen_fraction)) {
-      v.video_class = VideoClass::kEvergreen;
-      v.decay_tau = 0.0;
-    } else {
-      v.video_class = VideoClass::kTransient;
-      // Per-video decay constant around the profile mean (at least 12 hours).
-      double tau = util::SampleExponential(catalog_rng, profile.transient_tau_days) + 0.5;
-      v.decay_tau = tau * kSecondsPerDay;
-    }
-    return v;
-  };
-
-  // Pre-existing catalog: births spread over the history window so transient
-  // entries are at various stages of decay at trace start.
-  catalog.videos.reserve(profile.catalog_size + 16);
-  for (size_t i = 0; i < profile.catalog_size; ++i) {
-    double birth = -kCatalogHistorySeconds * catalog_rng.NextDouble();
-    catalog.videos.push_back(make_video(static_cast<VideoId>(i), birth));
-  }
-
-  // Catalog churn: Poisson new-video uploads throughout the trace.
-  double upload_rate = profile.new_videos_per_day / kSecondsPerDay;
-  if (upload_rate > 0.0) {
-    double t = util::SampleExponential(catalog_rng, 1.0 / upload_rate);
-    while (t < config_.duration_seconds) {
-      catalog.videos.push_back(make_video(static_cast<VideoId>(catalog.videos.size()), t));
-      t += util::SampleExponential(catalog_rng, 1.0 / upload_rate);
-    }
-  }
-
-  // Request arrivals: non-homogeneous Poisson process sampled by thinning
-  // against the maximum rate; the popularity table is refreshed on a fixed
-  // cadence to track churn/decay.
   Trace& trace = out.trace;
   trace.duration = config_.duration_seconds;
-  double lambda_max = profile.base_request_rate * (1.0 + profile.diurnal_amplitude + 0.1);
   trace.requests.reserve(
-      static_cast<size_t>(profile.base_request_rate * config_.duration_seconds * 1.05) + 16);
-
-  double step = config_.popularity_refresh_seconds;
-  size_t next_new_video = 0;  // catalog is birth-sorted for the churn segment
-  std::vector<VideoId> active_ids;
-  std::vector<double> active_weights;
-
-  for (double window_start = 0.0; window_start < config_.duration_seconds; window_start += step) {
-    double window_end = std::min(window_start + step, config_.duration_seconds);
-    double window_mid = 0.5 * (window_start + window_end);
-
-    // Rebuild the sampling table from demand weights at the window midpoint.
-    active_ids.clear();
-    active_weights.clear();
-    (void)next_new_video;
-    for (const VideoMeta& v : catalog.videos) {
-      double w = VideoWeightAt(v, window_mid, config_);
-      if (w > config_.weight_floor_fraction * v.base_weight && w > 0.0) {
-        active_ids.push_back(v.id);
-        active_weights.push_back(w);
-      }
-    }
-    if (active_ids.empty()) {
-      continue;
-    }
-    util::AliasTable table(active_weights);
-
-    double t = window_start;
-    for (;;) {
-      t += util::SampleExponential(arrival_rng, 1.0 / lambda_max);
-      if (t >= window_end) {
-        break;
-      }
-      // Thinning acceptance for the diurnal/weekly modulated rate.
-      double accept = profile.base_request_rate * DiurnalFactor(profile, t) / lambda_max;
-      if (!arrival_rng.NextBool(accept)) {
-        continue;
-      }
-
-      const VideoMeta& video = catalog.videos[active_ids[table.Sample(pick_rng)]];
-      if (video.birth_time > t) {
-        // Born later in this sampling window; it cannot be requested yet.
-        continue;
-      }
-
-      Request r;
-      r.arrival_time = t;
-      r.video = video.id;
-
-      // Intra-file pattern: most views start at the head of the file; others
-      // seek into the early part (quadratic skew toward the beginning). View
-      // length is an exponential fraction of the file, truncated at EOF.
-      uint64_t size = video.size_bytes;
-      uint64_t start = 0;
-      if (!range_rng.NextBool(profile.start_at_zero_probability)) {
-        double u = range_rng.NextDouble();
-        double start_fraction = 0.75 * u * u;
-        start = static_cast<uint64_t>(start_fraction * static_cast<double>(size - 1));
-      }
-      double view_fraction = util::SampleExponential(range_rng, profile.mean_view_fraction);
-      auto view_bytes = static_cast<uint64_t>(view_fraction * static_cast<double>(size));
-      view_bytes = std::max(view_bytes, kMinViewBytes);
-      uint64_t end = start + view_bytes - 1;
-      end = std::min(end, size - 1);
-
-      r.byte_begin = start;
-      r.byte_end = end;
-      trace.requests.push_back(r);
-    }
+      static_cast<size_t>(config_.profile.base_request_rate * config_.duration_seconds * 1.05) +
+      16);
+  while (windows.NextWindow(&trace.requests)) {
   }
+  out.catalog = windows.TakeCatalog();
 
   VCDN_CHECK(trace.IsWellFormed());
 
@@ -208,7 +224,7 @@ GeneratedWorkload WorkloadGenerator::Generate() {
     registry.GetCounter("workload.generated_requests_total")
         .Increment(trace.requests.size());
     registry.GetGauge("workload.catalog_videos")
-        .Set(static_cast<double>(catalog.videos.size()));
+        .Set(static_cast<double>(out.catalog.videos.size()));
     registry.GetGauge("workload.duration_seconds").Set(trace.duration);
     registry.GetGauge("workload.arrival_rate_per_sec")
         .Set(trace.duration > 0.0

@@ -32,6 +32,7 @@
 #include "src/trace/catalog.h"
 #include "src/trace/request.h"
 #include "src/trace/server_profile.h"
+#include "src/util/rng.h"
 
 namespace vcdn::trace {
 
@@ -56,6 +57,44 @@ struct WorkloadConfig {
 struct GeneratedWorkload {
   Trace trace;
   Catalog catalog;
+};
+
+// Incremental form of WorkloadGenerator::Generate(): the catalog is built
+// eagerly in the constructor (consuming the catalog RNG stream exactly as
+// Generate() does), then requests are produced one popularity-refresh window
+// at a time. Windows are order-dependent -- each consumes the arrival/pick/
+// range RNG streams sequentially -- so the concatenation of all windows is
+// bit-identical to the materialized trace for the same config. This is the
+// engine behind both Generate() (loop and append) and GeneratedStream
+// (generate-as-you-replay with bounded lookahead).
+class WindowedWorkload {
+ public:
+  explicit WindowedWorkload(WorkloadConfig config);
+
+  const Catalog& catalog() const { return catalog_; }
+  double duration() const { return config_.duration_seconds; }
+  const WorkloadConfig& config() const { return config_; }
+
+  // Appends the next window's requests to `out` (possibly none: windows with
+  // no active videos or no accepted arrivals are legitimately empty).
+  // Returns false once the trace is exhausted (nothing appended).
+  bool NextWindow(std::vector<Request>* out);
+
+  // Moves the catalog out; only meaningful once NextWindow() has returned
+  // false (the engine samples from the catalog while windows remain).
+  Catalog TakeCatalog() { return std::move(catalog_); }
+
+ private:
+  WorkloadConfig config_;
+  Catalog catalog_;
+  util::Pcg32 arrival_rng_;
+  util::Pcg32 pick_rng_;
+  util::Pcg32 range_rng_;
+  double lambda_max_;
+  double window_start_ = 0.0;
+  // Scratch reused across windows to avoid per-window allocation.
+  std::vector<VideoId> active_ids_;
+  std::vector<double> active_weights_;
 };
 
 class WorkloadGenerator {

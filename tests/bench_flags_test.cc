@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,40 @@ TEST(BenchFlagsTest, RepeatAndBatchClampToAtLeastOne) {
   BenchFlags flags = Parse({"--repeat", "0", "--batch", "0"});
   EXPECT_EQ(flags.repeat, 1u);
   EXPECT_EQ(flags.batch, 1u);
+}
+
+// --- --scale: first-class workload-scale flag ------------------------------
+
+TEST(BenchScaleFlagTest, ScaleFlagParses) {
+  EXPECT_DOUBLE_EQ(Parse({"--scale", "0.5"}).scale, 0.5);
+  EXPECT_DOUBLE_EQ(Parse({}).scale, 0.0);  // 0 = "not given"
+}
+
+TEST(BenchScaleFlagTest, BadScaleValuesExit) {
+  // A scale that isn't a positive finite number must exit(2), not clamp:
+  // a silently-corrected scale produces numbers for the wrong workload.
+  for (const char* bad : {"zero", "0", "-1", "nan", "inf"}) {
+    EXPECT_EXIT(Parse({"--scale", bad}), testing::ExitedWithCode(2),
+                std::string("invalid value '") + bad + "' for flag '--scale'");
+  }
+}
+
+TEST(BenchScaleFlagTest, FlagWinsOverEnv) {
+  // VCDN_BENCH_SCALE stays honored (CI lanes set it), but an explicit
+  // --scale on the command line overrides it.
+  ASSERT_EQ(setenv("VCDN_BENCH_SCALE", "0.1", 1), 0);
+  BenchFlags with_flag = Parse({"--scale", "0.75"});
+  EXPECT_DOUBLE_EQ(ResolveScale(with_flag).workload_scale, 0.75);
+  BenchFlags without_flag = Parse({});
+  EXPECT_DOUBLE_EQ(ResolveScale(without_flag).workload_scale, 0.1);
+  ASSERT_EQ(unsetenv("VCDN_BENCH_SCALE"), 0);
+}
+
+TEST(BenchScaleFlagTest, DefaultScaleWithoutFlagOrEnv) {
+  ASSERT_EQ(unsetenv("VCDN_BENCH_SCALE"), 0);
+  BenchScale scale = ResolveScale(Parse({}));
+  EXPECT_GT(scale.workload_scale, 0.0);
+  EXPECT_EQ(scale.workload_scale, ScaleFromEnv().workload_scale);
 }
 
 }  // namespace

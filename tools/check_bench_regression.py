@@ -4,13 +4,13 @@
 Usage: check_bench_regression.py BASELINE_JSON FRESH_JSON [--threshold 0.25]
 
 Guards the MEDIAN-of-repeats throughput headlines of the tracked bench
-baselines -- BENCH_hotpath.json (bench_replay_throughput) and
-BENCH_net.json (bench_net_loopback); the profile is picked from the JSON's
-own "bench" field, so both gates share this script:
+baselines -- BENCH_hotpath.json (bench_replay_throughput), BENCH_net.json
+(bench_net_loopback) and BENCH_scale.json (bench_scale_sweep); the profile
+is picked from the JSON's own "bench" field, so every gate shares this
+script:
 
-  * exits 1 with a GitHub ::error annotation when any flat single-thread
-    headline (xLRU or Cafe requests/sec) regressed by more than the
-    threshold (default 25%);
+  * exits 1 with a GitHub ::error annotation when any headline regressed by
+    more than the threshold (default 25%);
   * emits a ::notice annotation -- and still exits 0 -- when a headline
     improved by more than the threshold, so baseline refreshes don't get
     forgotten;
@@ -18,9 +18,13 @@ own "bench" field, so both gates share this script:
     different workloads (scale / days / seed / request count), because a
     ratio across different workloads is meaningless.
 
-Thresholded on the median headline rather than a single run so one noisy CI
-neighbor can't fail the build; the raw per-repeat arrays stay in the JSON
-for anyone chasing dispersion.
+Each headline is compared MEDIAN vs MEDIAN: when the profile names a
+per-repeat array, the gate recomputes the lower median from the raw repeats
+of BOTH files (the same order-statistic the benches use for their headline
+fields) instead of trusting a single stored scalar. When a comparison lands
+within 10% of the gate boundary, the min/median/max spread of both repeat
+arrays is printed so a borderline verdict can be judged against run-to-run
+noise instead of re-running blind.
 
 Tolerant of schema growth by construction: fields are read by explicit path
 (dig), so new keys in either file -- "meta", the hardware-counter columns
@@ -35,20 +39,42 @@ import json
 import sys
 
 # Per-bench gate profiles, keyed by the JSON's "bench" field. Files written
-# before the field existed fall back to the hotpath profile.
+# before the field existed fall back to the hotpath profile. Each headline is
+# (label, scalar_path, repeats_path_or_None); when the repeats path resolves
+# to a non-empty list in a file, its lower median REPLACES the stored scalar
+# for that side of the comparison.
 PROFILES = {
     "bench_replay_throughput": {
         "headlines": [
-            ("xLRU flat", ("single_thread", "xLRU", "flat", "requests_per_sec")),
-            ("Cafe flat", ("single_thread", "Cafe", "flat", "requests_per_sec")),
+            (
+                "xLRU flat",
+                ("single_thread", "xLRU", "flat", "requests_per_sec"),
+                ("single_thread", "xLRU", "repeat_requests_per_sec_flat"),
+            ),
+            (
+                "Cafe flat",
+                ("single_thread", "Cafe", "flat", "requests_per_sec"),
+                ("single_thread", "Cafe", "repeat_requests_per_sec_flat"),
+            ),
         ],
         "workload_keys": ["scale", "days", "chunks_per_paper_tb", "seed", "servers", "requests"],
     },
     "bench_net_loopback": {
         "headlines": [
-            ("net loopback", ("throughput", "requests_per_sec")),
+            ("net loopback", ("throughput", "requests_per_sec"), None),
         ],
         "workload_keys": ["scale", "seed", "requests", "connections", "pipeline", "shards"],
+    },
+    "bench_scale_sweep": {
+        "headlines": [
+            (
+                "streaming fleet @%s" % scale,
+                ("scales", scale, "requests_per_sec"),
+                ("scales", scale, "repeat_requests_per_sec"),
+            )
+            for scale in ("0.25", "0.5", "1")
+        ],
+        "workload_keys": ["scales", "days", "chunks_per_paper_tb", "seed", "servers", "algorithms"],
     },
 }
 
@@ -59,6 +85,30 @@ def dig(doc, path):
             return None
         doc = doc[key]
     return doc
+
+
+def lower_median(values):
+    """The benches' headline order statistic: sorted[(n-1)//2]."""
+    ordered = sorted(values)
+    return ordered[(len(ordered) - 1) // 2]
+
+
+def headline_value(doc, scalar_path, repeats_path):
+    """Median of the raw repeats when available, else the stored scalar."""
+    if repeats_path is not None:
+        repeats = dig(doc, repeats_path)
+        if isinstance(repeats, list) and repeats:
+            return lower_median(repeats), repeats
+    return dig(doc, scalar_path), None
+
+
+def spread(values):
+    return "min %.0f / median %.0f / max %.0f over %d repeats" % (
+        min(values),
+        lower_median(values),
+        max(values),
+        len(values),
+    )
 
 
 def main():
@@ -98,9 +148,9 @@ def main():
         return 0
 
     failed = False
-    for label, path in headlines:
-        base = dig(baseline, path)
-        new = dig(fresh, path)
+    for label, path, repeats_path in headlines:
+        base, base_repeats = headline_value(baseline, path, repeats_path)
+        new, fresh_repeats = headline_value(fresh, path, repeats_path)
         if not base or not new:
             print("::warning::%s missing from %s; skipping" % (label, path[-1]))
             continue
@@ -112,10 +162,26 @@ def main():
         elif ratio > 1.0 + args.threshold:
             print(
                 "::notice::throughput improved past the %d%% band: %s -- consider "
-                "refreshing the committed BENCH_hotpath.json" % (args.threshold * 100, line)
+                "refreshing the committed baseline JSON" % (args.threshold * 100, line)
             )
         else:
             print(line)
+
+        # Borderline verdicts get the raw dispersion printed: within 10% of
+        # either gate boundary, show min/median/max of both repeat arrays so
+        # "barely passed" and "barely failed" can be weighed against noise.
+        near_gate = (
+            abs(ratio - (1.0 - args.threshold)) <= 0.10
+            or abs(ratio - (1.0 + args.threshold)) <= 0.10
+        )
+        if near_gate:
+            print("  near the +/-%d%% gate boundary:" % (args.threshold * 100))
+            if base_repeats:
+                print("    baseline spread: %s" % spread(base_repeats))
+            if fresh_repeats:
+                print("    fresh spread:    %s" % spread(fresh_repeats))
+            if not base_repeats and not fresh_repeats:
+                print("    (no per-repeat arrays recorded; re-run with --repeat >= 3)")
 
         # Informational hardware-counter context, printed only when both runs
         # measured them (perf_event_open is often unavailable on CI runners).
